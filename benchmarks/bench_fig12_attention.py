@@ -1,0 +1,29 @@
+"""Fig. 12: attention-layer speedups on LLaMA 1/2/3 over BitFusion-16bit."""
+
+from repro.analysis import attention_comparison, format_table
+from repro.analysis.comparison import geomean_speedup
+
+
+def test_fig12_attention_speedups(run_once):
+    rows = run_once(
+        attention_comparison,
+        models=("llama1-7b", "llama2-7b", "llama3-8b"),
+        sequence_length=1024,
+        samples_per_gemm=4,
+    )
+    table = [
+        (r.workload, r.accelerator, r.cycles, r.speedup)
+        for r in sorted(rows, key=lambda r: (r.workload, r.accelerator))
+    ]
+    print("\nFig 12: attention-layer speedup over BitFusion-16bit")
+    print(format_table(["model", "accelerator", "cycles", "speedup"], table))
+
+    ta = geomean_speedup(rows, "transarray-8bit")
+    ant = geomean_speedup(rows, "ant-8bit")
+    print(f"\nGeomean: TransArray-8bit={ta:.2f}x ANT-8bit={ant:.2f}x (paper: 3.97x, 2.58x)")
+    # Paper: TA ~3.97x over BitFusion-16bit and ~1.54x over ANT-8bit.  The
+    # analytic model lands in the same band but slightly favours TA because it
+    # omits softmax/requantization overlap overheads.
+    assert ta > ant > 1.0
+    assert 1.2 <= ta / ant <= 2.6
+    assert 2.5 <= ta <= 7.0

@@ -1,0 +1,19 @@
+"""Shared pytest-benchmark configuration for the paper-reproduction benches.
+
+Every benchmark regenerates one table or figure of the paper.  The simulated
+experiments are deterministic, so each bench runs its harness exactly once
+(``rounds=1``) and prints the rows/series the paper reports; pytest-benchmark
+records the wall-clock cost of regenerating the artifact.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a harness exactly once under pytest-benchmark and return its result."""
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Design-space exploration: why the paper picks 8-bit TranSparsity (Fig. 9).
+
+Sweeps the TransRow width and tiling row size on a uniform random 0/1 matrix
+and prints the density curves and node-type shares that justify the final
+hardware configuration (T = 8, 256 TransRows per sub-tile).
+
+Usage::
+
+    python examples/design_space_exploration.py [matrix_size]
+"""
+
+import sys
+
+from repro.analysis import (
+    density_vs_row_size,
+    format_table,
+    node_type_vs_bitwidth,
+    scoreboard_density_study,
+)
+
+
+def main() -> None:
+    matrix_size = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+
+    print(f"Sweeping TranSparsity on a {matrix_size}x{matrix_size} random 0/1 matrix...\n")
+    points = density_vs_row_size(
+        bit_widths=(2, 4, 6, 8, 10, 12),
+        row_sizes=(16, 64, 256, 512),
+        matrix_size=matrix_size,
+        max_tiles=4,
+    )
+    print("Fig 9(a): overall density (%) — lower is better")
+    print(format_table(
+        ["T (bits)", "row size", "density %"],
+        [(p.bit_width, p.row_size, 100.0 * p.density) for p in points],
+    ))
+
+    best = min(points, key=lambda p: p.density)
+    print(f"\nBest density {best.density:.1%} at T={best.bit_width}, "
+          f"row size {best.row_size} — the paper's Pareto point is T=8 at >=256 rows.\n")
+
+    shares = node_type_vs_bitwidth(bit_widths=(2, 4, 8, 12), row_size=256,
+                                   matrix_size=matrix_size)
+    print("Fig 9(b): node-type shares (%) at row size 256")
+    print(format_table(
+        ["T (bits)", "ZR", "TR", "FR", "PR"],
+        [(w, s["ZR"], s["TR"], s["FR"], s["PR"]) for w, s in sorted(shares.items())],
+    ))
+
+    print("\nFig 13 preview: static vs dynamic scoreboard density (%)")
+    study = scoreboard_density_study(row_sizes=(64, 256), matrix_rows=512,
+                                     matrix_cols=64, max_tiles=4)
+    print(format_table(
+        ["data", "scoreboard", "row size", "density %"],
+        [(p.data, p.mode, p.row_size, 100.0 * p.density) for p in study],
+    ))
+
+
+if __name__ == "__main__":
+    main()

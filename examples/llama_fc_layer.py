@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""LLaMA fully-connected layers on the TransArray vs the five baselines (Fig. 10).
+
+Simulates the FC GEMMs of one Transformer block (prefill 2048) for a chosen
+LLaMA model on every accelerator and prints cycles, speedup and energy
+efficiency normalised to Olive — the comparison behind the paper's headline
+7.46x / 3.97x speedup numbers.
+
+Usage::
+
+    python examples/llama_fc_layer.py [model] [sequence_length]
+
+``model`` defaults to ``llama1-7b``; see ``repro.workloads.LLAMA_MODELS`` for
+the available names.
+"""
+
+import sys
+
+from repro.analysis import fc_layer_comparison, format_table
+from repro.analysis.comparison import geomean_speedup
+from repro.workloads import LLAMA_MODELS
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "llama1-7b"
+    sequence_length = int(sys.argv[2]) if len(sys.argv) > 2 else 2048
+    if model not in LLAMA_MODELS:
+        raise SystemExit(f"unknown model '{model}'; choose from {sorted(LLAMA_MODELS)}")
+
+    print(f"Simulating the FC layers of one {model} block "
+          f"(prefill sequence length {sequence_length})...\n")
+    rows = fc_layer_comparison(
+        models=[model], sequence_length=sequence_length, samples_per_gemm=8
+    )
+    table = [
+        (r.accelerator, r.cycles, r.speedup, r.energy_efficiency)
+        for r in sorted(rows, key=lambda r: r.cycles, reverse=True)
+    ]
+    print(format_table(
+        ["accelerator", "cycles", "speedup vs Olive", "energy eff. vs Olive"], table
+    ))
+
+    ta4 = geomean_speedup(rows, "transarray-4bit")
+    ta8 = geomean_speedup(rows, "transarray-8bit")
+    print(f"\nTransArray-4bit speedup over Olive : {ta4:.2f}x (paper: ~7.46x)")
+    print(f"TransArray-8bit speedup over Olive : {ta8:.2f}x (paper: ~3.75x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""ResNet-18 on the TransArray with mixed 4-/8-bit quantization (Fig. 14).
+
+Lowers every ResNet-18 convolution to GEMM with im2col, quantizes weights to
+4 bits (8 bits for the first conv and the classifier, as in the paper), and
+simulates each layer on BitFusion, ANT and the TransArray.
+
+Usage::
+
+    python examples/resnet18_inference.py
+"""
+
+from repro.analysis import format_table, resnet_comparison
+from repro.analysis.comparison import geomean_speedup
+from repro.workloads import resnet18_gemms
+
+
+def main() -> None:
+    workload = resnet18_gemms(weight_bits=4)
+    total_macs = workload.total_macs
+    print(f"ResNet-18 lowered to {len(workload.gemms)} GEMMs "
+          f"({total_macs / 1e9:.2f} GMACs total)\n")
+
+    rows = resnet_comparison(samples_per_gemm=6)
+    table = [
+        (r.workload, r.accelerator, r.cycles, r.speedup)
+        for r in sorted(rows, key=lambda r: (r.workload, r.accelerator))
+    ]
+    print(format_table(["layer", "accelerator", "cycles", "speedup vs BitFusion"], table))
+
+    ta = geomean_speedup(rows, "transarray")
+    ant = geomean_speedup(rows, "ant")
+    print(f"\nGeomean over layers: TransArray={ta:.2f}x, ANT={ant:.2f}x over BitFusion "
+          f"(paper totals: 4.26x and ~1.9x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Plain-text table formatting for benchmark and example output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..errors import ReproError
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 float_format: str = "{:.2f}") -> str:
+    """Render rows as an aligned plain-text table (the benches print these).
+
+    Floats are formatted with ``float_format``; everything else uses ``str``.
+    """
+    headers = [str(h) for h in headers]
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        if len(cells) != len(headers):
+            raise ReproError(
+                f"row has {len(cells)} cells but the table has {len(headers)} columns"
+            )
+        rendered.append(cells)
+
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def _line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    separator = "  ".join("-" * width for width in widths)
+    lines = [_line(headers), separator]
+    lines.extend(_line(row) for row in rendered)
+    return "\n".join(lines)

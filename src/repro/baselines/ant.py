@@ -1,0 +1,23 @@
+"""ANT baseline: adaptive numerical data-type accelerator (Guo et al., MICRO'22).
+
+ANT's PE array is built from 4-bit units; wider operands are decomposed so an
+8x8 MAC occupies four units.  The paper evaluates ANT with group-wise
+quantization at 8-bit for LLMs (its adaptive 4-bit types lose too much accuracy
+on LLaMA) which is why its mixed-precision advantage disappears in Fig. 10.
+ANT is also the only named baseline besides BitFusion that can run attention
+layers, because it needs no offline weight pre-processing.
+"""
+
+from __future__ import annotations
+
+from ..config import DRAMConfig, default_baseline_configs
+from ..energy.energy_model import EnergyParameters
+from .base import MacArrayAccelerator
+
+
+class AntAccelerator(MacArrayAccelerator):
+    """36x64 array of 4-bit adaptive-type PEs."""
+
+    def __init__(self, dram: DRAMConfig = DRAMConfig(),
+                 energy: EnergyParameters = EnergyParameters()) -> None:
+        super().__init__(default_baseline_configs()["ant"], dram=dram, energy=energy)

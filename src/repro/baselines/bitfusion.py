@@ -1,0 +1,30 @@
+"""BitFusion baseline: bit-level dynamically composable PEs (Sharma et al., ISCA'18).
+
+BitFusion builds each PE out of 2-bit "BitBricks" that can be fused into wider
+multipliers, so throughput scales with the product of both operand precisions:
+an 8x8 MAC uses the whole PE, a 4x8 MAC half of it, a 16-bit operand doubles
+the cost.  The paper runs BitFusion at 8-bit (Fig. 10, poor perplexity) and at
+16-bit for the attention comparison of Fig. 12.
+"""
+
+from __future__ import annotations
+
+from ..config import DRAMConfig, default_baseline_configs
+from ..energy.energy_model import EnergyParameters
+from ..workloads.gemm import GemmShape
+from .base import MacArrayAccelerator
+
+
+class BitFusionAccelerator(MacArrayAccelerator):
+    """Fusion-style precision scaling on a 28x32 array of 8-bit PEs."""
+
+    def __init__(self, dram: DRAMConfig = DRAMConfig(),
+                 energy: EnergyParameters = EnergyParameters()) -> None:
+        super().__init__(default_baseline_configs()["bitfusion"], dram=dram, energy=energy)
+
+    def effective_macs_per_cycle(self, shape: GemmShape) -> float:
+        """Throughput scales with ``(8/w) * (8/a)`` thanks to BitBrick fusion."""
+        native = self.config.pe_bits
+        weight_scale = native / max(2, shape.weight_bits)
+        act_scale = native / max(2, shape.activation_bits)
+        return self.config.num_pes * weight_scale * act_scale

@@ -1,0 +1,36 @@
+"""Dense INT8 systolic-array reference accelerator.
+
+Not one of the paper's named baselines, but a useful sanity anchor: a plain
+INT8 MAC array with the same number of PEs as BitFusion and no precision
+composability or sparsity support.  Speedups of every other design can be read
+against it in tests and examples.
+"""
+
+from __future__ import annotations
+
+from ..config import BaselinePEConfig, DRAMConfig
+from ..energy.energy_model import EnergyParameters
+from ..workloads.gemm import GemmShape
+from .base import MacArrayAccelerator
+
+
+class DenseInt8Accelerator(MacArrayAccelerator):
+    """A 28x32 array of plain INT8 MACs with no precision scaling."""
+
+    def __init__(self, dram: DRAMConfig = DRAMConfig(),
+                 energy: EnergyParameters = EnergyParameters()) -> None:
+        config = BaselinePEConfig(
+            name="dense-int8",
+            pe_rows=28,
+            pe_cols=32,
+            pe_bits=8,
+            pe_area_um2=500.0,
+            buffer_bytes=512 * 1024,
+            supports_attention=True,
+        )
+        super().__init__(config, dram=dram, energy=energy)
+
+    def effective_macs_per_cycle(self, shape: GemmShape) -> float:
+        """Fixed throughput: lower precision does not speed a dense array up."""
+        del shape
+        return float(self.config.num_pes)

@@ -1,0 +1,33 @@
+"""Olive baseline: outlier-victim pair quantization accelerator (Guo et al., ISCA'23).
+
+Olive handles activation/weight outliers by sacrificing the neighbouring
+"victim" value, letting it keep 4-bit PEs with outlier coverage.  On LLaMA the
+paper runs it at 8-bit (like ANT), so each MAC occupies four of its 4-bit PEs.
+Olive pre-processes weights offline and therefore cannot run attention layers
+(Fig. 12 discussion).
+"""
+
+from __future__ import annotations
+
+from ..config import DRAMConfig, default_baseline_configs
+from ..energy.energy_model import EnergyParameters
+from ..errors import SimulationError
+from ..workloads.gemm import GemmShape
+from .base import MacArrayAccelerator
+
+
+class OliveAccelerator(MacArrayAccelerator):
+    """32x48 array of outlier-victim 4-bit PEs."""
+
+    def __init__(self, dram: DRAMConfig = DRAMConfig(),
+                 energy: EnergyParameters = EnergyParameters(),
+                 allow_attention: bool = False) -> None:
+        super().__init__(default_baseline_configs()["olive"], dram=dram, energy=energy)
+        self.allow_attention = allow_attention
+
+    def validate(self, shape: GemmShape) -> None:
+        super().validate(shape)
+        if not self.allow_attention and shape.name in ("qk_t", "pv"):
+            raise SimulationError(
+                "olive: attention GEMMs need offline weight pre-processing and are unsupported"
+            )

@@ -1,0 +1,69 @@
+"""Packing helpers converting between bit vectors and TransRow integer values.
+
+The Transitive Array identifies each TransRow by the unsigned integer value of
+its ``T``-bit pattern (paper Fig. 3).  The paper's figures read bit patterns
+left-to-right with the *leftmost* bit addressing the first input row, so the
+convention used throughout this library is:
+
+    bit ``T-1-j`` of the packed integer corresponds to input row ``j``.
+
+e.g. the 4-bit pattern ``1011`` packs to ``11`` and selects input rows 0, 2, 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import BitSliceError
+
+
+def pack_bits_to_uint(bits: np.ndarray) -> np.ndarray:
+    """Pack rows of a binary matrix into unsigned TransRow values.
+
+    Parameters
+    ----------
+    bits:
+        Array of shape ``(..., T)`` with values in {0, 1}.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(...,)`` holding each row's packed integer value, with
+        the first column mapped to the most-significant bit.
+    """
+    bits = np.asarray(bits)
+    if bits.size and not np.isin(bits, (0, 1)).all():
+        raise BitSliceError("pack_bits_to_uint expects a 0/1 matrix")
+    width = bits.shape[-1]
+    if width < 1 or width > 63:
+        raise BitSliceError(f"TransRow width must be in [1, 63], got {width}")
+    weights = (1 << np.arange(width - 1, -1, -1)).astype(np.int64)
+    return (bits.astype(np.int64) * weights).sum(axis=-1)
+
+
+def unpack_uint_to_bits(values: np.ndarray, width: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits_to_uint`.
+
+    Expands packed TransRow values back into a ``(..., width)`` 0/1 matrix with
+    the most-significant bit in column 0.
+    """
+    if width < 1 or width > 63:
+        raise BitSliceError(f"TransRow width must be in [1, 63], got {width}")
+    values = np.asarray(values, dtype=np.int64)
+    if values.size and (values.min() < 0 or values.max() >= (1 << width)):
+        raise BitSliceError(
+            f"values outside [0, {(1 << width) - 1}] cannot be unpacked at width {width}"
+        )
+    shifts = np.arange(width - 1, -1, -1)
+    return ((values[..., None] >> shifts) & 1).astype(np.uint8)
+
+
+def popcount(values: np.ndarray) -> np.ndarray:
+    """Number of set bits (Hamming weight) of each packed TransRow value."""
+    values = np.asarray(values, dtype=np.uint64)
+    counts = np.zeros(values.shape, dtype=np.int64)
+    work = values.copy()
+    while work.any():
+        counts += (work & 1).astype(np.int64)
+        work >>= np.uint64(1)
+    return counts

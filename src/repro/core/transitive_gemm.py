@@ -1,0 +1,236 @@
+"""Functional transitive-sparsity GEMM engine.
+
+This is the algorithmic heart of the paper in executable form: a GEMM that
+never multiplies.  The weight matrix is bit-sliced into TransRows, the
+scoreboard organises them into prefix-reuse trees, and every TransRow's partial
+result is obtained from its prefix's result plus a single extra input row
+(or, for outliers, a handful of raw additions).  Because integer addition is
+associative, the result is bit-identical to ``weight @ activation`` — the
+engine asserts nothing silently and exposes exact operation counts so the
+architectural simulator and the design-space exploration share one source of
+truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..bitslice.slicer import bit_plane_weights, bit_slice
+from ..bitslice.packing import pack_bits_to_uint
+from ..errors import SimulationError
+from ..hasse.graph import hasse_graph
+from ..scoreboard.algorithm import ScoreboardResult, run_scoreboard
+from .metrics import OpCounts, op_counts_from_result
+
+
+@dataclass
+class TransitiveGemmReport:
+    """Result and statistics of one transitive GEMM execution."""
+
+    output: np.ndarray
+    op_counts: OpCounts
+    chunk_results: List[ScoreboardResult] = field(default_factory=list)
+
+    @property
+    def density(self) -> float:
+        """Overall density (fraction of bit-serial dense adds executed)."""
+        return self.op_counts.density
+
+
+class TransitiveGemmEngine:
+    """Multiplication-free GEMM through transitive result reuse.
+
+    Parameters
+    ----------
+    transrow_bits:
+        TransRow width ``T`` (the paper's final design uses 8).
+    max_distance:
+        Longest prefix chain before a TransRow is treated as an outlier.
+    num_lanes:
+        Lanes of the balanced forest; defaults to ``transrow_bits``.
+    """
+
+    def __init__(
+        self,
+        transrow_bits: int = 8,
+        max_distance: int = 4,
+        num_lanes: Optional[int] = None,
+    ) -> None:
+        if transrow_bits < 1 or transrow_bits > 16:
+            raise SimulationError(
+                f"transrow_bits must be in [1, 16], got {transrow_bits}"
+            )
+        self.transrow_bits = transrow_bits
+        self.max_distance = max_distance
+        self.num_lanes = num_lanes if num_lanes is not None else transrow_bits
+
+    # ------------------------------------------------------------------ API
+    def multiply(
+        self,
+        weight: np.ndarray,
+        activation: np.ndarray,
+        weight_bits: int,
+        collect_chunks: bool = False,
+    ) -> TransitiveGemmReport:
+        """Compute ``weight @ activation`` through transitive sparsity.
+
+        Parameters
+        ----------
+        weight:
+            Signed integer matrix of shape ``(N, K)`` fitting in ``weight_bits``.
+        activation:
+            Integer matrix of shape ``(K, M)``.
+        weight_bits:
+            Two's-complement precision ``S`` of the weights.
+        collect_chunks:
+            Keep the per-column-chunk scoreboard results (useful for tests and
+            the design-space analysis, costly for large GEMMs).
+        """
+        weight = np.asarray(weight)
+        activation = np.asarray(activation, dtype=np.int64)
+        if weight.ndim != 2 or activation.ndim != 2:
+            raise SimulationError("weight and activation must both be 2-D matrices")
+        if weight.shape[1] != activation.shape[0]:
+            raise SimulationError(
+                f"shape mismatch: weight {weight.shape} x activation {activation.shape}"
+            )
+
+        n_rows, n_cols = weight.shape
+        n_out_cols = activation.shape[1]
+        width = self.transrow_bits
+        planes = bit_slice(weight, weight_bits)
+        plane_weights = bit_plane_weights(weight_bits)
+
+        output = np.zeros((n_rows, n_out_cols), dtype=np.int64)
+        total_counts: Optional[OpCounts] = None
+        chunk_results: List[ScoreboardResult] = []
+
+        num_chunks = (n_cols + width - 1) // width
+        for chunk in range(num_chunks):
+            start = chunk * width
+            stop = min(start + width, n_cols)
+            act_chunk = np.zeros((width, n_out_cols), dtype=np.int64)
+            act_chunk[: stop - start] = activation[start:stop]
+
+            values, sources = self._chunk_transrows(planes.planes, start, stop)
+            result = run_scoreboard(
+                values,
+                width=width,
+                max_distance=self.max_distance,
+                num_lanes=self.num_lanes,
+            )
+            node_results = self._compute_node_results(result, act_chunk)
+            self._accumulate(output, values, sources, plane_weights, node_results)
+
+            counts = op_counts_from_result(result)
+            total_counts = counts if total_counts is None else total_counts.merge(counts)
+            if collect_chunks:
+                chunk_results.append(result)
+
+        if total_counts is None:
+            total_counts = OpCounts(
+                width=width, total_transrows=0, zero_rows=0, pr_ops=0,
+                fr_ops=0, tr_ops=0, outlier_ops=0, set_bits=0,
+            )
+        return TransitiveGemmReport(
+            output=output, op_counts=total_counts, chunk_results=chunk_results
+        )
+
+    # ------------------------------------------------------------- internals
+    def _chunk_transrows(
+        self, planes: np.ndarray, start: int, stop: int
+    ) -> Tuple[List[int], List[Tuple[int, int]]]:
+        """Packed TransRow values and their (weight row, bit plane) sources."""
+        width = self.transrow_bits
+        bits, n_rows, _ = planes.shape
+        chunk_planes = np.zeros((bits, n_rows, width), dtype=np.uint8)
+        chunk_planes[:, :, : stop - start] = planes[:, :, start:stop]
+        packed = pack_bits_to_uint(chunk_planes.reshape(bits * n_rows, width))
+        packed = packed.reshape(bits, n_rows)
+
+        values: List[int] = []
+        sources: List[Tuple[int, int]] = []
+        for row in range(n_rows):
+            for plane in range(bits):
+                values.append(int(packed[plane, row]))
+                sources.append((row, plane))
+        return values, sources
+
+    def _compute_node_results(
+        self, result: ScoreboardResult, act_chunk: np.ndarray
+    ) -> Dict[int, np.ndarray]:
+        """Materialise the partial sum of every executed node via prefix reuse."""
+        graph = hasse_graph(result.width)
+        n_out = act_chunk.shape[1]
+        node_results: Dict[int, np.ndarray] = {0: np.zeros(n_out, dtype=np.int64)}
+
+        ordered = sorted(
+            result.nodes.values(), key=lambda node: (graph.level(node.index), node.index)
+        )
+        for node in ordered:
+            prefix_result = node_results.get(node.prefix)
+            if prefix_result is None:
+                raise SimulationError(
+                    f"prefix {node.prefix} of node {node.index} was not computed first"
+                )
+            difference = node.index ^ node.prefix
+            if bin(difference).count("1") != 1:
+                raise SimulationError(
+                    f"forest edge {node.prefix} -> {node.index} is not a single bit flip"
+                )
+            input_row = self._input_row_for_bit(act_chunk, difference)
+            node_results[node.index] = prefix_result + input_row
+
+        for outlier in result.outliers:
+            total = np.zeros(n_out, dtype=np.int64)
+            for bit_position in range(result.width):
+                mask = 1 << bit_position
+                if outlier.index & mask:
+                    total = total + self._input_row_for_bit(act_chunk, mask)
+            node_results[outlier.index] = total
+        return node_results
+
+    def _input_row_for_bit(self, act_chunk: np.ndarray, mask: int) -> np.ndarray:
+        """Input row addressed by a single-bit TranSparsity mask.
+
+        Packed values place the first input row at the most-significant bit, so
+        bit position ``b`` (LSB = 0) addresses input row ``T - 1 - b``.
+        """
+        bit_position = mask.bit_length() - 1
+        return act_chunk[self.transrow_bits - 1 - bit_position]
+
+    def _accumulate(
+        self,
+        output: np.ndarray,
+        values: List[int],
+        sources: List[Tuple[int, int]],
+        plane_weights: np.ndarray,
+        node_results: Dict[int, np.ndarray],
+    ) -> None:
+        """APE stage: shift-and-accumulate every TransRow result into its row."""
+        for value, (row, plane) in zip(values, sources):
+            if value == 0:
+                continue
+            result = node_results.get(value)
+            if result is None:
+                raise SimulationError(f"TransRow value {value} was never computed")
+            output[row] += int(plane_weights[plane]) * result
+
+
+def transitive_gemm(
+    weight: np.ndarray,
+    activation: np.ndarray,
+    weight_bits: int,
+    transrow_bits: int = 8,
+    max_distance: int = 4,
+) -> np.ndarray:
+    """Convenience wrapper returning only the GEMM result.
+
+    Equivalent to ``weight @ activation`` for any integer inputs; the
+    computation path goes through bit-slicing, scoreboarding and prefix reuse.
+    """
+    engine = TransitiveGemmEngine(transrow_bits=transrow_bits, max_distance=max_distance)
+    return engine.multiply(weight, activation, weight_bits).output

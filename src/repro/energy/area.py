@@ -1,0 +1,90 @@
+"""Area model reproducing Table 2 of the paper.
+
+The per-component areas (PPE, APE, NoC, Scoreboard, baseline PEs) are the
+synthesis results the paper publishes; this module only aggregates them into
+core areas and adds an analytic SRAM area for the buffers, so the comparison
+of Table 2 — TransArray's compute core is smaller than every baseline's despite
+its NoC and scoreboard — can be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..config import BaselinePEConfig, TransArrayConfig, default_baseline_configs
+from ..errors import ConfigurationError
+
+#: Component areas in square micrometres from Table 2 (28 nm synthesis).
+PPE_AREA_UM2: float = 50.3
+APE_AREA_UM2: float = 101.7
+NOC_AREA_UM2: float = 19_520.0
+SCOREBOARD_AREA_UM2: float = 92_507.0
+
+#: Analytic SRAM density at 28 nm (square millimetres per KB), a Cacti-like
+#: estimate used for the buffer column of Table 2.
+SRAM_MM2_PER_KB: float = 0.0023
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Core and buffer area of one accelerator in square millimetres."""
+
+    name: str
+    core_mm2: float
+    buffer_kb: float
+    buffer_mm2: float
+
+    @property
+    def total_mm2(self) -> float:
+        """Core plus buffer area."""
+        return self.core_mm2 + self.buffer_mm2
+
+
+class AreaModel:
+    """Aggregates component areas into accelerator-level area reports."""
+
+    def __init__(self, sram_mm2_per_kb: float = SRAM_MM2_PER_KB) -> None:
+        if sram_mm2_per_kb <= 0:
+            raise ConfigurationError("SRAM density must be positive")
+        self.sram_mm2_per_kb = sram_mm2_per_kb
+
+    def buffer_area_mm2(self, buffer_bytes: int) -> float:
+        """Analytic SRAM area for a buffer of the given capacity."""
+        return buffer_bytes / 1024 * self.sram_mm2_per_kb
+
+    def transarray(self, config: TransArrayConfig) -> AreaReport:
+        """Area of the full TransArray accelerator (``num_units`` units)."""
+        pes_per_unit = config.lanes * config.pe_columns
+        core_um2 = config.num_units * (
+            pes_per_unit * (PPE_AREA_UM2 + APE_AREA_UM2) + NOC_AREA_UM2
+        )
+        core_um2 += SCOREBOARD_AREA_UM2  # one shared dynamic scoreboard unit
+        buffer_bytes = config.num_units * config.total_buffer_bytes
+        return AreaReport(
+            name="transarray",
+            core_mm2=core_um2 / 1e6,
+            buffer_kb=buffer_bytes / 1024,
+            buffer_mm2=self.buffer_area_mm2(buffer_bytes),
+        )
+
+    def baseline(self, config: BaselinePEConfig) -> AreaReport:
+        """Area of one baseline accelerator from its PE geometry."""
+        core_um2 = config.num_pes * config.pe_area_um2
+        return AreaReport(
+            name=config.name,
+            core_mm2=core_um2 / 1e6,
+            buffer_kb=config.buffer_bytes / 1024,
+            buffer_mm2=self.buffer_area_mm2(config.buffer_bytes),
+        )
+
+
+def transarray_area_report(config: TransArrayConfig = TransArrayConfig()) -> AreaReport:
+    """Convenience wrapper: Table 2's TransArray row."""
+    return AreaModel().transarray(config)
+
+
+def baseline_area_report() -> Dict[str, AreaReport]:
+    """Convenience wrapper: Table 2's baseline rows."""
+    model = AreaModel()
+    return {name: model.baseline(cfg) for name, cfg in default_baseline_configs().items()}

@@ -1,0 +1,75 @@
+"""Per-operation energy constants at 28 nm / 500 MHz.
+
+The absolute values are standard-cell estimates (Horowitz, ISSCC'14, scaled
+from 45 nm to 28 nm); what matters for the reproduction is their *relative*
+magnitude: an integer multiplier costs roughly an order of magnitude more than
+an adder of the same width, which is the effect the multiplication-free
+TransArray exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class OperationEnergyTable:
+    """Energy per arithmetic operation in picojoules."""
+
+    add_8bit_pj: float = 0.02
+    add_12bit_pj: float = 0.03
+    add_24bit_pj: float = 0.06
+    add_32bit_pj: float = 0.08
+    mult_4bit_pj: float = 0.10
+    mult_8bit_pj: float = 0.35
+    mac_4bit_pj: float = 0.13
+    mac_8bit_pj: float = 0.42
+    mac_16bit_pj: float = 1.30
+
+    def mac_energy(self, bits: int) -> float:
+        """MAC energy for the closest supported operand width."""
+        if bits <= 4:
+            return self.mac_4bit_pj
+        if bits <= 8:
+            return self.mac_8bit_pj
+        return self.mac_16bit_pj
+
+    def add_energy(self, bits: int) -> float:
+        """Adder energy for the closest supported width."""
+        if bits <= 8:
+            return self.add_8bit_pj
+        if bits <= 12:
+            return self.add_12bit_pj
+        if bits <= 24:
+            return self.add_24bit_pj
+        return self.add_32bit_pj
+
+
+@dataclass(frozen=True)
+class EnergyParameters:
+    """All energy-model knobs of one simulated accelerator.
+
+    Attributes
+    ----------
+    ops:
+        Arithmetic energy table.
+    core_static_power_mw:
+        Leakage + clock-tree power of the compute core.
+    scoreboard_access_pj:
+        Energy of one dynamic-scoreboard table update (TransArray only).
+    noc_hop_pj:
+        Energy of moving one byte through the Benes network / crossbar.
+    """
+
+    ops: OperationEnergyTable = OperationEnergyTable()
+    core_static_power_mw: float = 25.0
+    scoreboard_access_pj: float = 0.8
+    noc_hop_pj: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.core_static_power_mw < 0:
+            raise ConfigurationError("core static power must be non-negative")
+        if self.scoreboard_access_pj < 0 or self.noc_hop_pj < 0:
+            raise ConfigurationError("per-event energies must be non-negative")

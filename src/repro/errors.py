@@ -1,0 +1,36 @@
+"""Exception hierarchy for the Transitive Array reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors such as
+``TypeError`` raised by misuse of the Python API itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a hardware or workload configuration is inconsistent."""
+
+
+class QuantizationError(ReproError):
+    """Raised when a tensor cannot be quantized with the requested scheme."""
+
+
+class BitSliceError(ReproError):
+    """Raised when bit-slicing is asked to decompose an out-of-range matrix."""
+
+
+class ScoreboardError(ReproError):
+    """Raised when scoreboarding receives invalid TransRows or SI tables."""
+
+
+class SimulationError(ReproError):
+    """Raised when a cycle-level simulation cannot be carried out."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload descriptor is malformed or unknown."""

@@ -1,0 +1,157 @@
+"""Balanced forest partition of the executed Hasse sub-graph (paper Sec. 2.4).
+
+After scoreboarding decides which nodes execute and which prefixes are valid,
+every executed node must receive exactly one prefix and one lane so that the
+``T`` parallel lanes of the TransArray each process an independent tree.  The
+paper balances the trees with a round-robin-like traversal supervised by a
+simple workload counter; :func:`build_balanced_forest` implements that greedy
+balancing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ScoreboardError
+from .graph import HasseGraph
+
+
+@dataclass(frozen=True)
+class ForestCandidate:
+    """An executed node awaiting lane/prefix assignment.
+
+    Attributes
+    ----------
+    index:
+        The node's TransRow value.
+    count:
+        Number of TransRows carrying this value (0 for relay-only nodes).
+    candidates:
+        Prefix nodes the scoreboard allows for this node, all of which are
+        either node 0 or nodes that execute earlier in Hamming order.
+    is_relay:
+        True for Transitive-Reuse (TR) nodes that only forward a partial sum.
+    """
+
+    index: int
+    count: int
+    candidates: Tuple[int, ...]
+    is_relay: bool = False
+
+
+@dataclass
+class Tree:
+    """One independent execution tree rooted at a level-1 (or orphan) node."""
+
+    root: int
+    lane: int
+    nodes: List[int] = field(default_factory=list)
+    workload: int = 0
+
+
+@dataclass
+class Forest:
+    """Result of the balanced partition: per-node prefix and lane assignment."""
+
+    width: int
+    num_lanes: int
+    trees: List[Tree]
+    node_prefix: Dict[int, int]
+    node_lane: Dict[int, int]
+
+    @property
+    def lane_workloads(self) -> List[int]:
+        """Total workload (TransRows + relay steps) assigned to each lane."""
+        loads = [0] * self.num_lanes
+        for tree in self.trees:
+            loads[tree.lane] += tree.workload
+        return loads
+
+    def lane_of(self, node: int) -> int:
+        """Lane executing ``node``; raises if the node is not in the forest."""
+        try:
+            return self.node_lane[node]
+        except KeyError as exc:
+            raise ScoreboardError(f"node {node} is not part of the forest") from exc
+
+    def prefix_of(self, node: int) -> int:
+        """Prefix chosen for ``node``; raises if the node is not in the forest."""
+        try:
+            return self.node_prefix[node]
+        except KeyError as exc:
+            raise ScoreboardError(f"node {node} is not part of the forest") from exc
+
+    @property
+    def imbalance(self) -> float:
+        """Max/mean lane workload ratio; 1.0 is a perfectly balanced forest."""
+        loads = [load for load in self.lane_workloads if load]
+        if not loads:
+            return 1.0
+        mean = sum(loads) / len(loads)
+        return max(loads) / mean if mean else 1.0
+
+
+def _node_workload(candidate: ForestCandidate) -> int:
+    """Workload contribution of one node: its TransRows, or 1 relay step."""
+    return max(candidate.count, 1)
+
+
+def build_balanced_forest(
+    graph: HasseGraph,
+    nodes: Sequence[ForestCandidate],
+    num_lanes: Optional[int] = None,
+) -> Forest:
+    """Greedily assign every executed node a prefix and a lane.
+
+    Nodes are visited in Hamming order so a node's candidate prefixes have
+    already been placed.  A node whose only candidate is node 0 roots a new
+    tree on the least-loaded lane; any other node joins the tree of whichever
+    candidate prefix currently has the lightest lane, mirroring the paper's
+    workload-counter supervision (Fig. 5 step 5).
+    """
+    num_lanes = num_lanes if num_lanes is not None else graph.width
+    if num_lanes < 1:
+        raise ScoreboardError(f"num_lanes must be >= 1, got {num_lanes}")
+
+    by_index = {candidate.index: candidate for candidate in nodes}
+    if 0 in by_index:
+        raise ScoreboardError("node 0 never executes and cannot join the forest")
+
+    ordered = sorted(nodes, key=lambda c: (graph.level(c.index), c.index))
+    lane_loads = [0] * num_lanes
+    trees: List[Tree] = []
+    tree_of_node: Dict[int, Tree] = {}
+    node_prefix: Dict[int, int] = {}
+    node_lane: Dict[int, int] = {}
+
+    for candidate in ordered:
+        workload = _node_workload(candidate)
+        usable = [p for p in candidate.candidates if p == 0 or p in tree_of_node]
+        if not usable:
+            raise ScoreboardError(
+                f"node {candidate.index} has no placed prefix among {candidate.candidates}"
+            )
+        non_root = [p for p in usable if p != 0]
+        if non_root:
+            chosen = min(non_root, key=lambda p: (lane_loads[tree_of_node[p].lane], p))
+            tree = tree_of_node[chosen]
+        else:
+            chosen = 0
+            lane = min(range(num_lanes), key=lambda i: (lane_loads[i], i))
+            tree = Tree(root=candidate.index, lane=lane)
+            trees.append(tree)
+        tree.nodes.append(candidate.index)
+        tree.workload += workload
+        lane_loads[tree.lane] += workload
+        tree_of_node[candidate.index] = tree
+        node_prefix[candidate.index] = chosen
+        node_lane[candidate.index] = tree.lane
+
+    return Forest(
+        width=graph.width,
+        num_lanes=num_lanes,
+        trees=trees,
+        node_prefix=node_prefix,
+        node_lane=node_lane,
+    )

@@ -1,0 +1,152 @@
+"""The T-bit Hasse lattice of TransRow values.
+
+Nodes are the integers ``0 .. 2**T - 1``; node ``a`` precedes node ``b`` when
+``a``'s set bits are a subset of ``b``'s.  Direct neighbours differ by a single
+bit flip, so each node has at most ``T`` direct prefixes (clear one set bit) and
+at most ``T`` direct suffixes (set one clear bit).  The level of a node is its
+Hamming weight (PopCount), which is also the traversal key of the paper's
+Hamming-order execution (Sec. 3.1).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterator, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+
+class HasseGraph:
+    """Boolean-lattice Hasse graph over ``width``-bit TransRow values.
+
+    The graph is small (``2**width`` nodes, at most 16 bits are ever used by the
+    hardware), so adjacency is computed on demand rather than materialised.
+    Instances are cached per width because every scoreboard, dispatcher and
+    analysis sweep shares the same immutable structure.
+    """
+
+    _instances: dict = {}
+
+    def __new__(cls, width: int) -> "HasseGraph":
+        if width in cls._instances:
+            return cls._instances[width]
+        instance = super().__new__(cls)
+        cls._instances[width] = instance
+        return instance
+
+    def __init__(self, width: int) -> None:
+        if getattr(self, "_initialised", False):
+            return
+        if width < 1 or width > 16:
+            raise ConfigurationError(f"Hasse graph width must be in [1, 16], got {width}")
+        self.width = width
+        self.num_nodes = 1 << width
+        self._levels: List[List[int]] = [[] for _ in range(width + 1)]
+        for node in range(self.num_nodes):
+            self._levels[self.level(node)].append(node)
+        self._hamming_order = [node for level in self._levels for node in level]
+        self._initialised = True
+
+    # ------------------------------------------------------------------ levels
+    def level(self, node: int) -> int:
+        """PopCount of ``node`` — its level in the lattice."""
+        self._check_node(node)
+        return bin(node).count("1")
+
+    def nodes_at_level(self, level: int) -> Sequence[int]:
+        """All nodes with exactly ``level`` set bits, in ascending value order."""
+        if level < 0 or level > self.width:
+            raise ConfigurationError(
+                f"level {level} out of range for a {self.width}-bit Hasse graph"
+            )
+        return tuple(self._levels[level])
+
+    def level_parallelism(self, level: int) -> int:
+        """Number of nodes at a level: the binomial coefficient C(width, level)."""
+        return len(self.nodes_at_level(level))
+
+    # -------------------------------------------------------------- traversals
+    def hamming_order(self, include_zero: bool = True, include_top: bool = True) -> List[int]:
+        """Nodes sorted by PopCount (forward traversal of Alg. 1).
+
+        Ties within a level keep ascending value order, matching the order the
+        paper lists in Alg. 1 (``0, 1, 2, 4, 8, 3, 5, 6, 9, ...``).
+        """
+        order = list(self._hamming_order)
+        if not include_zero:
+            order = order[1:]
+        if not include_top:
+            order = [n for n in order if n != self.num_nodes - 1]
+        return order
+
+    def reverse_hamming_order(self, include_zero: bool = False) -> List[int]:
+        """Nodes sorted by descending PopCount (backward traversal of Alg. 2)."""
+        order = [n for n in reversed(self._hamming_order)]
+        if not include_zero:
+            order = [n for n in order if n != 0]
+        return order
+
+    # ------------------------------------------------------------- adjacency
+    def direct_prefixes(self, node: int) -> List[int]:
+        """Nodes one level below reachable by clearing a single set bit."""
+        self._check_node(node)
+        return [node & ~(1 << b) for b in range(self.width) if node & (1 << b)]
+
+    def direct_suffixes(self, node: int) -> List[int]:
+        """Nodes one level above reachable by setting a single clear bit."""
+        self._check_node(node)
+        return [node | (1 << b) for b in range(self.width) if not node & (1 << b)]
+
+    def is_prefix(self, prefix: int, node: int) -> bool:
+        """True when every set bit of ``prefix`` is also set in ``node`` (and differ)."""
+        self._check_node(prefix)
+        self._check_node(node)
+        return prefix != node and (prefix & node) == prefix
+
+    def distance(self, prefix: int, node: int) -> int:
+        """Level difference between a node and one of its (transitive) prefixes."""
+        if not self.is_prefix(prefix, node) and prefix != 0:
+            raise ConfigurationError(f"{prefix} is not a prefix of {node}")
+        return self.level(node) - self.level(prefix)
+
+    def ancestors(self, node: int) -> Iterator[int]:
+        """All strict prefixes of ``node`` (any distance), node 0 included."""
+        self._check_node(node)
+        bits = [b for b in range(self.width) if node & (1 << b)]
+        for mask in range((1 << len(bits)) - 1):
+            value = 0
+            for i, b in enumerate(bits):
+                if mask & (1 << i):
+                    value |= 1 << b
+            yield value
+
+    def xor_difference(self, prefix: int, node: int) -> int:
+        """The TranSparsity pattern ``node XOR prefix`` (paper Sec. 4.3)."""
+        self._check_node(prefix)
+        self._check_node(node)
+        return node ^ prefix
+
+    # ------------------------------------------------------------------ misc
+    def top_node(self) -> int:
+        """The all-ones node at the highest level."""
+        return self.num_nodes - 1
+
+    def max_parallelism(self) -> Tuple[int, int]:
+        """(level, parallelism) of the widest level — C(width, width//2)."""
+        level = self.width // 2
+        return level, self.level_parallelism(level)
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ConfigurationError(
+                f"node {node} out of range for a {self.width}-bit Hasse graph"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"HasseGraph(width={self.width}, nodes={self.num_nodes})"
+
+
+@lru_cache(maxsize=32)
+def hasse_graph(width: int) -> HasseGraph:
+    """Cached accessor used by hot loops in the scoreboard and analysis code."""
+    return HasseGraph(width)

@@ -1,0 +1,12 @@
+"""On-chip buffer and off-chip DRAM models shared by every simulated accelerator."""
+
+from .buffer import BufferAccessCounter, DoubleBuffer, SRAMBuffer
+from .dram import DRAMModel, DRAMTrafficLog
+
+__all__ = [
+    "BufferAccessCounter",
+    "DoubleBuffer",
+    "SRAMBuffer",
+    "DRAMModel",
+    "DRAMTrafficLog",
+]

@@ -1,0 +1,126 @@
+"""On-chip SRAM buffer models with access accounting.
+
+The TransArray unit partitions its 80 KB of SRAM into weight, input, output,
+prefix and double buffers (Table 1).  For the cycle/energy model the buffers
+only need to (a) enforce their capacity and (b) count read/write traffic so the
+energy model can charge per-access energy; no data is stored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..errors import ConfigurationError, SimulationError
+
+
+@dataclass
+class BufferAccessCounter:
+    """Read/write byte counters for one named buffer."""
+
+    read_bytes: int = 0
+    write_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Total traffic through the buffer."""
+        return self.read_bytes + self.write_bytes
+
+    def merge(self, other: "BufferAccessCounter") -> "BufferAccessCounter":
+        """Combine two counters (e.g. across tiles)."""
+        return BufferAccessCounter(
+            read_bytes=self.read_bytes + other.read_bytes,
+            write_bytes=self.write_bytes + other.write_bytes,
+        )
+
+
+class SRAMBuffer:
+    """A capacity-checked on-chip buffer that records its traffic.
+
+    Parameters
+    ----------
+    name:
+        Buffer name used in energy breakdowns (``"prefix"``, ``"weight"``, ...).
+    capacity_bytes:
+        SRAM capacity; writes of working sets larger than this raise
+        :class:`SimulationError` because the hardware could not hold them.
+    """
+
+    def __init__(self, name: str, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ConfigurationError(f"buffer '{name}' capacity must be positive")
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self.counter = BufferAccessCounter()
+        self._resident_bytes = 0
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes currently held (the live working set)."""
+        return self._resident_bytes
+
+    def fill(self, num_bytes: int) -> None:
+        """Load a working set into the buffer, replacing the previous one."""
+        if num_bytes < 0:
+            raise SimulationError(f"buffer '{self.name}': negative fill size")
+        if num_bytes > self.capacity_bytes:
+            raise SimulationError(
+                f"buffer '{self.name}': working set of {num_bytes} B exceeds "
+                f"capacity {self.capacity_bytes} B"
+            )
+        self._resident_bytes = num_bytes
+        self.counter.write_bytes += num_bytes
+
+    def read(self, num_bytes: int) -> None:
+        """Record a read of ``num_bytes`` from the buffer."""
+        if num_bytes < 0:
+            raise SimulationError(f"buffer '{self.name}': negative read size")
+        self.counter.read_bytes += num_bytes
+
+    def write(self, num_bytes: int) -> None:
+        """Record a write of ``num_bytes`` into the buffer (no replacement)."""
+        if num_bytes < 0:
+            raise SimulationError(f"buffer '{self.name}': negative write size")
+        self.counter.write_bytes += num_bytes
+
+    def reset(self) -> None:
+        """Clear counters and the resident working set."""
+        self.counter = BufferAccessCounter()
+        self._resident_bytes = 0
+
+
+class DoubleBuffer:
+    """Two-ply buffer used to overlap loads with compute (paper Sec. 4.4/4.6).
+
+    The double buffer hides a fill of ``fill_cycles`` behind a compute phase of
+    ``compute_cycles``: the visible cost of the pair is their maximum, not
+    their sum.  :meth:`overlap` returns that visible cost so the pipeline model
+    stays explicit about where overlap happens.
+    """
+
+    def __init__(self, name: str, capacity_bytes: int) -> None:
+        half = capacity_bytes // 2
+        if half <= 0:
+            raise ConfigurationError(
+                f"double buffer '{name}' needs at least 2 bytes of capacity"
+            )
+        self.name = name
+        self.ping = SRAMBuffer(f"{name}.ping", half)
+        self.pong = SRAMBuffer(f"{name}.pong", half)
+
+    @staticmethod
+    def overlap(compute_cycles: int, fill_cycles: int) -> int:
+        """Visible cycles when a fill is overlapped with compute."""
+        if compute_cycles < 0 or fill_cycles < 0:
+            raise SimulationError("cycle counts must be non-negative")
+        return max(compute_cycles, fill_cycles)
+
+    @property
+    def counters(self) -> Dict[str, BufferAccessCounter]:
+        """Access counters of both plies."""
+        return {self.ping.name: self.ping.counter, self.pong.name: self.pong.counter}
+
+    @property
+    def total_traffic_bytes(self) -> int:
+        """Combined traffic of both plies."""
+        return self.ping.counter.total_bytes + self.pong.counter.total_bytes

@@ -1,0 +1,81 @@
+"""Off-chip DRAM traffic, latency and energy accounting.
+
+All accelerators in the evaluation share the same DRAM model: a fixed
+bandwidth (bytes per accelerator cycle), a per-byte dynamic access energy and
+a static background power that accrues for the whole runtime.  This is the
+model behind the "DRAM Static"/"DRAM Dynamic" components of Fig. 10 and
+Fig. 11.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..config import DRAMConfig
+from ..errors import SimulationError
+
+
+@dataclass
+class DRAMTrafficLog:
+    """Byte counters for the three tensor streams of a GEMM."""
+
+    weight_bytes: int = 0
+    input_bytes: int = 0
+    output_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Total off-chip traffic."""
+        return self.weight_bytes + self.input_bytes + self.output_bytes
+
+    def merge(self, other: "DRAMTrafficLog") -> "DRAMTrafficLog":
+        """Combine traffic of two phases or layers."""
+        return DRAMTrafficLog(
+            weight_bytes=self.weight_bytes + other.weight_bytes,
+            input_bytes=self.input_bytes + other.input_bytes,
+            output_bytes=self.output_bytes + other.output_bytes,
+        )
+
+
+class DRAMModel:
+    """Bandwidth/energy model of the off-chip memory system."""
+
+    def __init__(self, config: DRAMConfig = DRAMConfig()) -> None:
+        self.config = config
+        self.traffic = DRAMTrafficLog()
+
+    def record(self, weight_bytes: int = 0, input_bytes: int = 0, output_bytes: int = 0) -> None:
+        """Add traffic to the log."""
+        if min(weight_bytes, input_bytes, output_bytes) < 0:
+            raise SimulationError("DRAM traffic must be non-negative")
+        self.traffic.weight_bytes += weight_bytes
+        self.traffic.input_bytes += input_bytes
+        self.traffic.output_bytes += output_bytes
+
+    def transfer_cycles(self, num_bytes: int) -> int:
+        """Cycles needed to move ``num_bytes`` at the configured bandwidth."""
+        if num_bytes < 0:
+            raise SimulationError("DRAM transfer size must be non-negative")
+        return int(math.ceil(num_bytes / self.config.bandwidth_bytes_per_cycle))
+
+    @property
+    def total_transfer_cycles(self) -> int:
+        """Cycles to move all logged traffic."""
+        return self.transfer_cycles(self.traffic.total_bytes)
+
+    def dynamic_energy_nj(self, num_bytes: int = None) -> float:
+        """Dynamic DRAM energy in nanojoules for the logged (or given) traffic."""
+        if num_bytes is None:
+            num_bytes = self.traffic.total_bytes
+        return num_bytes * self.config.energy_pj_per_byte / 1000.0
+
+    def static_energy_nj(self, runtime_s: float) -> float:
+        """Static (background) DRAM energy over a runtime in seconds."""
+        if runtime_s < 0:
+            raise SimulationError("runtime must be non-negative")
+        return self.config.static_power_mw * 1e-3 * runtime_s * 1e9
+
+    def reset(self) -> None:
+        """Clear the traffic log."""
+        self.traffic = DRAMTrafficLog()

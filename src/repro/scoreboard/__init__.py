@@ -1,0 +1,45 @@
+"""Scoreboard mechanism: execution-order generation for transitive sparsity.
+
+The scoreboard (paper Sec. 3) turns a bag of TransRow values into a balanced
+forest of prefix-reuse trees: it records which Hasse-graph nodes are present,
+runs a forward pass (Alg. 1) to collect candidate prefixes, a backward pass
+(Alg. 2) to keep only the shortest-distance paths, and finally emits the
+Scoreboard Information (SI) table that drives the TransArray's dispatcher.
+Static scoreboards are computed once per tensor offline; dynamic scoreboards
+are regenerated per sub-tile by a dedicated hardware unit.
+"""
+
+from .algorithm import NodeState, ScoreboardResult, run_scoreboard
+from .info import ScoreboardInfo, SIEntry
+from .entry import (
+    EntryLayout,
+    ScoreboardEntryFields,
+    decode_entry,
+    encode_entry,
+    prefix_translator,
+    suffix_translator,
+)
+from .sorter import bitonic_stage_count, sort_by_popcount, sorter_cycles
+from .static import StaticScoreboard, StaticTileOutcome
+from .dynamic import DynamicScoreboard, DynamicTileOutcome
+
+__all__ = [
+    "NodeState",
+    "ScoreboardResult",
+    "run_scoreboard",
+    "ScoreboardInfo",
+    "SIEntry",
+    "EntryLayout",
+    "ScoreboardEntryFields",
+    "decode_entry",
+    "encode_entry",
+    "prefix_translator",
+    "suffix_translator",
+    "bitonic_stage_count",
+    "sort_by_popcount",
+    "sorter_cycles",
+    "StaticScoreboard",
+    "StaticTileOutcome",
+    "DynamicScoreboard",
+    "DynamicTileOutcome",
+]

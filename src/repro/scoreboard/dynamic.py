@@ -1,0 +1,83 @@
+"""Dynamic scoreboard: per-sub-tile SI generation in hardware (paper Sec. 3.4).
+
+Each weight sub-tile entering the on-chip network gets its own private SI,
+generated on the fly by a ``T``-way scoreboard unit fed by a bitonic PopCount
+sorter.  Because the Hamming-order sort bounds the number of distinct nodes by
+``min(n, 2**T)``, scoreboarding always finishes before the PPE/APE stages of
+the previous sub-tile drain (paper Sec. 4.6), which is what the cycle estimate
+below captures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..errors import ScoreboardError
+from .algorithm import ScoreboardResult, run_scoreboard
+from .info import ScoreboardInfo
+from .sorter import sorter_cycles
+
+
+@dataclass(frozen=True)
+class DynamicTileOutcome:
+    """Scoreboarding outcome for one sub-tile processed dynamically."""
+
+    result: ScoreboardResult
+    info: ScoreboardInfo
+    cycles: int
+
+
+class DynamicScoreboard:
+    """Hardware dynamic scoreboard shared by the TransArray units.
+
+    Parameters
+    ----------
+    width:
+        TransRow width ``T``.
+    max_distance:
+        Longest prefix chain considered before a TransRow becomes an outlier.
+    num_lanes:
+        Parallel lanes of the balanced forest (defaults to ``width``).
+    ways:
+        Parallelism of the scoreboard table update (the paper uses a ``T``-way
+        scoreboard so one Hasse level can be processed per cycle).
+    """
+
+    def __init__(
+        self,
+        width: int = 8,
+        max_distance: int = 4,
+        num_lanes: Optional[int] = None,
+        ways: Optional[int] = None,
+    ) -> None:
+        if width < 1 or width > 16:
+            raise ScoreboardError(f"width must be in [1, 16], got {width}")
+        self.width = width
+        self.max_distance = max_distance
+        self.num_lanes = num_lanes if num_lanes is not None else width
+        self.ways = ways if ways is not None else width
+
+    def process(self, values: Sequence[int]) -> DynamicTileOutcome:
+        """Scoreboard one sub-tile's TransRow values and estimate the cycle cost."""
+        result = run_scoreboard(
+            values,
+            width=self.width,
+            max_distance=self.max_distance,
+            num_lanes=self.num_lanes,
+        )
+        info = ScoreboardInfo.from_result(result)
+        return DynamicTileOutcome(result=result, info=info, cycles=self.cycles(len(values)))
+
+    def cycles(self, num_transrows: int) -> int:
+        """Cycle estimate for scoreboarding ``num_transrows`` TransRows.
+
+        The sorter contributes its pipeline fill latency; the table update
+        touches at most ``min(n, 2**T)`` distinct nodes, ``ways`` per cycle.
+        """
+        if num_transrows <= 0:
+            return 0
+        distinct_bound = min(num_transrows, 1 << self.width)
+        update_cycles = math.ceil(distinct_bound / self.ways)
+        return sorter_cycles(num_transrows) + update_cycles

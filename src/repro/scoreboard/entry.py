@@ -1,0 +1,191 @@
+"""Bit-field encoding of dynamic-scoreboard entries (paper Fig. 6).
+
+Each hardware entry stores the node identifier, an occurrence count, one prefix
+bitmap per distance, a suffix bitmap and the lane ID.  The bitmaps do not store
+node indices explicitly; instead a *prefix translator* recovers prefix indices
+by flipping one set bit to 0 and a *suffix translator* recovers suffix indices
+by flipping one clear bit to 1, which is what keeps the entry small
+(``T`` bits per bitmap instead of ``T`` node indices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import ScoreboardError
+
+
+@dataclass(frozen=True)
+class EntryLayout:
+    """Field widths (in bits) of one scoreboard entry for a given TransRow width."""
+
+    width: int
+    count_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.width > 16:
+            raise ScoreboardError(f"entry width must be in [1, 16], got {self.width}")
+
+    @property
+    def node_bits(self) -> int:
+        """Bits needed to name a node (``T`` for a ``T``-bit Hasse graph)."""
+        return self.width
+
+    @property
+    def lane_bits(self) -> int:
+        """Bits needed for the lane identifier (``ceil(log2 T)``, min 1)."""
+        return max(1, (self.width - 1).bit_length())
+
+    @property
+    def prefix_bitmap_bits(self) -> int:
+        """Four prefix bitmaps of ``T`` bits each (distances 1-4)."""
+        return 4 * self.width
+
+    @property
+    def suffix_bitmap_bits(self) -> int:
+        """One suffix bitmap of ``T`` bits."""
+        return self.width
+
+    @property
+    def total_bits(self) -> int:
+        """Total entry width; 34 bits for the 4-bit layout shown in Fig. 6."""
+        return (
+            self.node_bits
+            + self.count_bits
+            + self.prefix_bitmap_bits
+            + self.suffix_bitmap_bits
+            + self.lane_bits
+        )
+
+    def table_bytes(self) -> int:
+        """Size of a full ``2**T``-entry scoreboard table in bytes."""
+        return ((1 << self.width) * self.total_bits + 7) // 8
+
+
+@dataclass(frozen=True)
+class ScoreboardEntryFields:
+    """Decoded contents of one scoreboard entry."""
+
+    node: int
+    count: int
+    prefix_bitmaps: Tuple[int, int, int, int]
+    suffix_bitmap: int
+    lane: int
+
+
+def encode_entry(fields: ScoreboardEntryFields, layout: EntryLayout) -> int:
+    """Pack entry fields into a single integer, LSB-first in field order."""
+    width = layout.width
+    mask = (1 << width) - 1
+    if not 0 <= fields.node <= mask:
+        raise ScoreboardError(f"node {fields.node} does not fit in {width} bits")
+    if not 0 <= fields.count < (1 << layout.count_bits):
+        raise ScoreboardError(f"count {fields.count} does not fit in {layout.count_bits} bits")
+    if len(fields.prefix_bitmaps) != 4:
+        raise ScoreboardError("exactly four prefix bitmaps are required")
+    if not 0 <= fields.lane < (1 << layout.lane_bits):
+        raise ScoreboardError(f"lane {fields.lane} does not fit in {layout.lane_bits} bits")
+
+    value = 0
+    offset = 0
+    value |= fields.node << offset
+    offset += layout.node_bits
+    value |= fields.count << offset
+    offset += layout.count_bits
+    for bitmap in fields.prefix_bitmaps:
+        if not 0 <= bitmap <= mask:
+            raise ScoreboardError(f"prefix bitmap {bitmap} does not fit in {width} bits")
+        value |= bitmap << offset
+        offset += width
+    if not 0 <= fields.suffix_bitmap <= mask:
+        raise ScoreboardError(
+            f"suffix bitmap {fields.suffix_bitmap} does not fit in {width} bits"
+        )
+    value |= fields.suffix_bitmap << offset
+    offset += width
+    value |= fields.lane << offset
+    return value
+
+
+def decode_entry(encoded: int, layout: EntryLayout) -> ScoreboardEntryFields:
+    """Inverse of :func:`encode_entry`."""
+    width = layout.width
+    mask = (1 << width) - 1
+    offset = 0
+    node = (encoded >> offset) & mask
+    offset += layout.node_bits
+    count = (encoded >> offset) & ((1 << layout.count_bits) - 1)
+    offset += layout.count_bits
+    prefix_bitmaps: List[int] = []
+    for _ in range(4):
+        prefix_bitmaps.append((encoded >> offset) & mask)
+        offset += width
+    suffix_bitmap = (encoded >> offset) & mask
+    offset += width
+    lane = (encoded >> offset) & ((1 << layout.lane_bits) - 1)
+    return ScoreboardEntryFields(
+        node=node,
+        count=count,
+        prefix_bitmaps=tuple(prefix_bitmaps),
+        suffix_bitmap=suffix_bitmap,
+        lane=lane,
+    )
+
+
+def prefix_translator(node: int, prefix_bitmap: int, width: int) -> List[int]:
+    """Decode a prefix bitmap into prefix node indices by 1-to-0 bit flips.
+
+    Bit ``b`` of ``prefix_bitmap`` names the direct prefix obtained by clearing
+    bit ``b`` of ``node``; that bit must be set in ``node``.
+    """
+    prefixes: List[int] = []
+    for bit in range(width):
+        if not prefix_bitmap & (1 << bit):
+            continue
+        if not node & (1 << bit):
+            raise ScoreboardError(
+                f"prefix bitmap bit {bit} flips a bit that is already 0 in node {node:#x}"
+            )
+        prefixes.append(node & ~(1 << bit))
+    return prefixes
+
+
+def suffix_translator(node: int, suffix_bitmap: int, width: int) -> List[int]:
+    """Decode a suffix bitmap into suffix node indices by 0-to-1 bit flips."""
+    suffixes: List[int] = []
+    for bit in range(width):
+        if not suffix_bitmap & (1 << bit):
+            continue
+        if node & (1 << bit):
+            raise ScoreboardError(
+                f"suffix bitmap bit {bit} flips a bit that is already 1 in node {node:#x}"
+            )
+        suffixes.append(node | (1 << bit))
+    return suffixes
+
+
+def prefix_bitmap_from_nodes(node: int, prefixes, width: int) -> int:
+    """Inverse of :func:`prefix_translator`: encode prefix indices as a bitmap."""
+    bitmap = 0
+    for prefix in prefixes:
+        diff = node ^ prefix
+        if bin(diff).count("1") != 1 or (node & diff) != diff:
+            raise ScoreboardError(f"{prefix} is not a direct prefix of {node}")
+        bitmap |= diff
+    if bitmap >= (1 << width):
+        raise ScoreboardError("bitmap exceeds entry width")
+    return bitmap
+
+
+def suffix_bitmap_from_nodes(node: int, suffixes, width: int) -> int:
+    """Inverse of :func:`suffix_translator`: encode suffix indices as a bitmap."""
+    bitmap = 0
+    for suffix in suffixes:
+        diff = node ^ suffix
+        if bin(diff).count("1") != 1 or (suffix & diff) != diff or (node & diff):
+            raise ScoreboardError(f"{suffix} is not a direct suffix of {node}")
+        bitmap |= diff
+    if bitmap >= (1 << width):
+        raise ScoreboardError("bitmap exceeds entry width")
+    return bitmap

@@ -1,0 +1,106 @@
+"""Scoreboard Information (SI): the compact table driving the dispatcher.
+
+The SI table (paper Fig. 5 step 6) records, for every TransRow value that may
+appear, the prefix whose result it reuses and the lane that executes it.  Its
+memory footprint is ``2 * T * 2**T`` bits (512 bytes for ``T = 8``), small
+enough to live in the on-chip buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import ScoreboardError
+from .algorithm import ScoreboardResult
+
+
+@dataclass(frozen=True)
+class SIEntry:
+    """One SI row: a TransRow value, its chosen prefix, lane and distance."""
+
+    transrow: int
+    prefix: int
+    lane: int
+    distance: int
+    is_relay: bool = False
+
+    @property
+    def transparsity(self) -> int:
+        """XOR difference dispatched to the input network (paper Sec. 4.3)."""
+        return self.transrow ^ self.prefix
+
+
+@dataclass
+class ScoreboardInfo:
+    """The SI table for one tensor (static) or one sub-tile (dynamic)."""
+
+    width: int
+    entries: Dict[int, SIEntry]
+
+    @classmethod
+    def from_result(cls, result: ScoreboardResult) -> "ScoreboardInfo":
+        """Build the SI table from a completed scoreboard run."""
+        entries = {
+            idx: SIEntry(
+                transrow=idx,
+                prefix=node.prefix,
+                lane=node.lane,
+                distance=node.distance,
+                is_relay=node.is_relay,
+            )
+            for idx, node in result.nodes.items()
+        }
+        return cls(width=result.width, entries=entries)
+
+    def lookup(self, transrow: int) -> Optional[SIEntry]:
+        """Return the SI entry for a TransRow value, or ``None`` on an SI miss."""
+        if not 0 <= transrow < (1 << self.width):
+            raise ScoreboardError(
+                f"TransRow {transrow} out of range for width {self.width}"
+            )
+        return self.entries.get(transrow)
+
+    def prefix_chain(self, transrow: int, limit: Optional[int] = None) -> List[int]:
+        """Follow the prefix chain of ``transrow`` down to node 0.
+
+        Used by the static scoreboard to check whether a chain survives inside
+        a tile, and by tests to assert the chain is acyclic and strictly
+        decreasing in Hamming weight.
+        """
+        limit = limit if limit is not None else (1 << self.width)
+        chain: List[int] = []
+        current = transrow
+        while current != 0 and len(chain) < limit:
+            entry = self.lookup(current)
+            if entry is None:
+                break
+            chain.append(entry.prefix)
+            if bin(entry.prefix).count("1") >= bin(current).count("1"):
+                raise ScoreboardError(
+                    f"SI chain of {transrow} does not descend: {current} -> {entry.prefix}"
+                )
+            current = entry.prefix
+        return chain
+
+    def lanes(self) -> Dict[int, List[SIEntry]]:
+        """Group entries per lane, each sorted in Hamming order (execution order)."""
+        grouped: Dict[int, List[SIEntry]] = {}
+        for entry in self.entries.values():
+            grouped.setdefault(entry.lane, []).append(entry)
+        for lane_entries in grouped.values():
+            lane_entries.sort(key=lambda e: (bin(e.transrow).count("1"), e.transrow))
+        return grouped
+
+    @property
+    def memory_bits(self) -> int:
+        """SI storage requirement from the paper: ``2 * T * 2**T`` bits."""
+        return 2 * self.width * (1 << self.width)
+
+    @property
+    def memory_bytes(self) -> int:
+        """SI storage requirement in bytes (512 B for ``T = 8``)."""
+        return (self.memory_bits + 7) // 8
+
+    def __len__(self) -> int:
+        return len(self.entries)

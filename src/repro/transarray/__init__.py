@@ -1,0 +1,34 @@
+"""The Transitive Array architecture model (paper Sec. 4, Figs. 7-8).
+
+The package models one TransArray unit — dispatcher, Benes distribution
+network, distributed prefix buffer, PPE/APE arrays, three-stage pipeline — and
+the six-unit accelerator that executes full GEMM workloads through tiling and
+(dynamic or static) scoreboarding.
+"""
+
+from .tiling import SubTile, TileShape, TilingPlan, plan_tiling
+from .benes import BenesNetwork
+from .prefix_buffer import DistributedPrefixBuffer
+from .pe import AccumulationPE, PrefixPE
+from .dispatcher import Dispatcher, DispatchRecord
+from .pipeline import PipelineEstimate, pipeline_cycles
+from .unit import SubTileReport, TransArrayUnit
+from .accelerator import TransitiveArrayAccelerator
+
+__all__ = [
+    "SubTile",
+    "TileShape",
+    "TilingPlan",
+    "plan_tiling",
+    "BenesNetwork",
+    "DistributedPrefixBuffer",
+    "AccumulationPE",
+    "PrefixPE",
+    "Dispatcher",
+    "DispatchRecord",
+    "PipelineEstimate",
+    "pipeline_cycles",
+    "SubTileReport",
+    "TransArrayUnit",
+    "TransitiveArrayAccelerator",
+]

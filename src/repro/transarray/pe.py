@@ -1,0 +1,98 @@
+"""Processing elements of the TransArray: Prefix PE and Accumulation PE (Fig. 7c).
+
+Both PEs are adders — the architecture is multiplication-free.  The PPE is a
+12-bit adder that produces a node's partial sum from its prefix's partial sum
+plus one input row; the APE is a 24-bit accumulator that folds TransRow results
+into the output with the bit-level shift of the TransRow's plane.  The models
+check the paper's precision claim: with 12-/24-bit adders no overflow occurs
+for 8-bit activations, so the dataflow is lossless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+@dataclass
+class PECounters:
+    """Operation counters of one PE array."""
+
+    operations: int = 0
+
+
+class PrefixPE:
+    """12-bit adder computing ``prefix_sum + input_row`` (one lane, ``m`` columns)."""
+
+    def __init__(self, precision_bits: int = 12) -> None:
+        if precision_bits < 2:
+            raise SimulationError("PPE precision must be at least 2 bits")
+        self.precision_bits = precision_bits
+        self.counters = PECounters()
+
+    @property
+    def min_value(self) -> int:
+        """Smallest representable partial sum."""
+        return -(1 << (self.precision_bits - 1))
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable partial sum."""
+        return (1 << (self.precision_bits - 1)) - 1
+
+    def add(self, prefix_sum: np.ndarray, input_row: np.ndarray) -> np.ndarray:
+        """One PPE operation; raises on overflow to surface precision bugs."""
+        result = np.asarray(prefix_sum, dtype=np.int64) + np.asarray(input_row, dtype=np.int64)
+        if result.size and (result.min() < self.min_value or result.max() > self.max_value):
+            raise SimulationError(
+                f"PPE overflow: result range [{result.min()}, {result.max()}] exceeds "
+                f"{self.precision_bits}-bit precision"
+            )
+        self.counters.operations += 1
+        return result
+
+
+class AccumulationPE:
+    """24-bit shift-and-accumulate PE folding TransRow results into the output."""
+
+    def __init__(self, precision_bits: int = 24) -> None:
+        if precision_bits < 2:
+            raise SimulationError("APE precision must be at least 2 bits")
+        self.precision_bits = precision_bits
+        self.counters = PECounters()
+
+    @property
+    def min_value(self) -> int:
+        """Smallest representable accumulator value."""
+        return -(1 << (self.precision_bits - 1))
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable accumulator value."""
+        return (1 << (self.precision_bits - 1)) - 1
+
+    def accumulate(self, accumulator: np.ndarray, transrow_result: np.ndarray,
+                   plane_weight: int) -> np.ndarray:
+        """One APE operation: ``accumulator + plane_weight * transrow_result``.
+
+        The plane weight is a power of two (or its negation for the MSB plane),
+        so the hardware realises the product with a shifter, not a multiplier.
+        """
+        if plane_weight != 0 and (abs(plane_weight) & (abs(plane_weight) - 1)):
+            raise SimulationError(
+                f"APE plane weight {plane_weight} is not a power of two"
+            )
+        result = (
+            np.asarray(accumulator, dtype=np.int64)
+            + plane_weight * np.asarray(transrow_result, dtype=np.int64)
+        )
+        if result.size and (result.min() < self.min_value or result.max() > self.max_value):
+            raise SimulationError(
+                f"APE overflow: result range [{result.min()}, {result.max()}] exceeds "
+                f"{self.precision_bits}-bit precision"
+            )
+        self.counters.operations += 1
+        return result

@@ -1,0 +1,65 @@
+"""Three-stage pipeline schedule of one TransArray unit (paper Sec. 4.6).
+
+Stage 1 is the dynamic scoreboard (PopCount sort + table build), stage 2 the
+PPE array producing prefix partial sums, stage 3 the APE array folding results
+into the output.  The stages are double-buffered, so in steady state a unit
+finishes one sub-tile every ``max(stage cycles)`` and pays the shorter stages'
+latency only once as pipeline fill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class PipelineEstimate:
+    """Cycle estimate of a stream of identical sub-tiles through the pipeline."""
+
+    scoreboard_cycles: int
+    ppe_cycles: int
+    ape_cycles: int
+    num_subtiles: int
+
+    @property
+    def bottleneck_cycles(self) -> int:
+        """Per-sub-tile cost in steady state (the slowest stage)."""
+        return max(self.scoreboard_cycles, self.ppe_cycles, self.ape_cycles)
+
+    @property
+    def fill_cycles(self) -> int:
+        """One-off pipeline fill: the two non-bottleneck stages of the first tile."""
+        stages = [self.scoreboard_cycles, self.ppe_cycles, self.ape_cycles]
+        return sum(stages) - self.bottleneck_cycles
+
+    @property
+    def total_cycles(self) -> int:
+        """Cycles to stream all sub-tiles through the three stages."""
+        if self.num_subtiles == 0:
+            return 0
+        return self.fill_cycles + self.num_subtiles * self.bottleneck_cycles
+
+    @property
+    def bottleneck_stage(self) -> str:
+        """Name of the limiting stage (the paper expects the PPE array)."""
+        stages = {
+            "scoreboard": self.scoreboard_cycles,
+            "ppe": self.ppe_cycles,
+            "ape": self.ape_cycles,
+        }
+        return max(stages, key=stages.get)
+
+
+def pipeline_cycles(scoreboard_cycles: int, ppe_cycles: int, ape_cycles: int,
+                    num_subtiles: int) -> PipelineEstimate:
+    """Build a :class:`PipelineEstimate`, validating the inputs."""
+    if min(scoreboard_cycles, ppe_cycles, ape_cycles) < 0 or num_subtiles < 0:
+        raise SimulationError("pipeline cycle counts must be non-negative")
+    return PipelineEstimate(
+        scoreboard_cycles=scoreboard_cycles,
+        ppe_cycles=ppe_cycles,
+        ape_cycles=ape_cycles,
+        num_subtiles=num_subtiles,
+    )

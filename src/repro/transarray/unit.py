@@ -1,0 +1,248 @@
+"""One TransArray unit: functional execution and per-sub-tile cycle/traffic model.
+
+The unit stitches the previous pieces together (Fig. 7b / Fig. 8): TransRows of
+a weight sub-tile are scoreboarded (dynamic or via a shared static SI),
+dispatched with XOR pruning, routed to the PPE lanes, and the APE folds every
+result into the output tile.  Two entry points are provided:
+
+* :meth:`TransArrayUnit.execute_subtile` — full functional execution of one
+  sub-GEMM through the architectural path (dispatcher, prefix buffer, PPE/APE),
+  bit-exact against ``weight_tile @ act_tile``; used by integration tests.
+* :meth:`TransArrayUnit.profile_subtile` — statistics-only profiling of one
+  TransRow population, returning the cycle and buffer-traffic estimate the
+  accelerator-level simulator scales up to full GEMMs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..bitslice.slicer import bit_plane_weights, bit_slice
+from ..bitslice.packing import pack_bits_to_uint
+from ..config import TransArrayConfig
+from ..core.metrics import OpCounts, op_counts_from_result
+from ..errors import SimulationError
+from ..hasse.graph import hasse_graph
+from ..scoreboard.algorithm import ScoreboardResult
+from ..scoreboard.dynamic import DynamicScoreboard
+from ..scoreboard.static import StaticScoreboard
+from .pe import AccumulationPE, PrefixPE
+from .prefix_buffer import DistributedPrefixBuffer
+from .pipeline import PipelineEstimate, pipeline_cycles
+
+
+@dataclass
+class SubTileReport:
+    """Cycle and traffic profile of one sub-tile on one TransArray unit."""
+
+    op_counts: OpCounts
+    scoreboard_cycles: int
+    ppe_cycles: int
+    ape_cycles: int
+    buffer_bytes: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def compute_cycles(self) -> int:
+        """Steady-state per-sub-tile cost: the slower of the PPE/APE stages."""
+        return max(self.ppe_cycles, self.ape_cycles)
+
+    @property
+    def bottleneck_cycles(self) -> int:
+        """Per-sub-tile cost including the scoreboard stage."""
+        return max(self.scoreboard_cycles, self.compute_cycles)
+
+
+class TransArrayUnit:
+    """Functional + cycle model of a single TransArray unit."""
+
+    def __init__(self, config: TransArrayConfig = TransArrayConfig()) -> None:
+        self.config = config
+        self.scoreboard = DynamicScoreboard(
+            width=config.transrow_bits,
+            max_distance=config.max_prefix_distance,
+            num_lanes=config.lanes,
+        )
+
+    # ----------------------------------------------------------- profiling
+    def profile_subtile(
+        self,
+        values: Sequence[int],
+        static_scoreboard: Optional[StaticScoreboard] = None,
+    ) -> SubTileReport:
+        """Profile one TransRow population (no data movement, statistics only).
+
+        With ``static_scoreboard`` the shared SI is applied (SI misses and all)
+        and the scoreboard stage costs nothing at run time; otherwise the
+        dynamic scoreboard is modelled.
+        """
+        lanes = self.config.lanes
+        if static_scoreboard is not None:
+            outcome = static_scoreboard.apply(values)
+            from ..core.metrics import op_counts_from_static_outcome
+
+            counts = op_counts_from_static_outcome(outcome, values)
+            ppe_steps = outcome.pr_nodes + outcome.tr_steps + outcome.outlier_adds
+            ape_steps = counts.total_transrows - counts.zero_rows
+            scoreboard_cycles = 0
+            ppe_cycles = math.ceil(ppe_steps / lanes) if ppe_steps else 0
+            ape_cycles = math.ceil(ape_steps / lanes) if ape_steps else 0
+        else:
+            outcome = self.scoreboard.process(values)
+            counts = op_counts_from_result(outcome.result)
+            scoreboard_cycles = outcome.cycles
+            ppe_cycles, ape_cycles = self._stage_cycles(outcome.result)
+        buffer_bytes = self._buffer_traffic(counts)
+        return SubTileReport(
+            op_counts=counts,
+            scoreboard_cycles=scoreboard_cycles,
+            ppe_cycles=ppe_cycles,
+            ape_cycles=ape_cycles,
+            buffer_bytes=buffer_bytes,
+        )
+
+    def _stage_cycles(self, result: ScoreboardResult):
+        """Per-stage cycle counts from a dynamic scoreboard result.
+
+        The PPE stage is tree-constrained, so its cost is the heaviest lane's
+        node count (plus outlier adds spread across lanes).  The APE stage only
+        reads partial sums from the prefix buffer through the crossbar and can
+        therefore distribute TransRows evenly: it costs ``n / T`` cycles for
+        ``n`` non-zero TransRows, the "constantly n cycles" of Sec. 4.6.
+        """
+        lanes = self.config.lanes
+        ppe_loads = result.lane_ppe_loads()
+        outlier_ppe = sum(o.popcount for o in result.outliers)
+        outlier_rows = sum(o.count for o in result.outliers)
+        nonzero_rows = result.total_transrows - result.zero_rows
+        ppe_cycles = (max(ppe_loads) if ppe_loads else 0) + math.ceil(outlier_ppe / lanes)
+        ape_cycles = math.ceil((nonzero_rows + outlier_rows * 0) / lanes) if nonzero_rows else 0
+        return ppe_cycles, ape_cycles
+
+    def _buffer_traffic(self, counts: OpCounts) -> Dict[str, float]:
+        """Per-buffer traffic (bytes) of one sub-tile for the energy model.
+
+        PPE operations read one input row (``m`` bytes of 8-bit activations)
+        and write one 12-bit partial-sum vector to the prefix buffer; APE
+        operations read one partial-sum vector and update the 32-bit output
+        accumulators (charged at a quarter of the vector because consecutive
+        bit planes of the same row stay in the accumulator register).
+        """
+        m = self.config.input_cols
+        ppe_ops = counts.pr_ops + counts.tr_ops + counts.outlier_ops
+        ape_ops = counts.total_transrows - counts.zero_rows
+        psum_bytes = m * 2          # 12-bit PPE partial sums, 2 bytes each
+        return {
+            "weight": counts.total_transrows * self.config.transrow_bits / 8.0,
+            "input": ppe_ops * m * 1.0,
+            "prefix": ppe_ops * psum_bytes + ape_ops * psum_bytes,
+            "output": ape_ops * m * 4.0 / 4.0,
+        }
+
+    # ---------------------------------------------------------- functional
+    def execute_subtile(
+        self,
+        weight_tile: np.ndarray,
+        act_tile: np.ndarray,
+        weight_bits: int,
+    ) -> np.ndarray:
+        """Execute one sub-GEMM through the full architectural path.
+
+        ``weight_tile`` is ``(n, T)`` signed integers, ``act_tile`` is
+        ``(T, m)``; the result equals ``weight_tile @ act_tile`` exactly.  The
+        execution goes through the dynamic scoreboard, the dispatcher, the
+        distributed prefix buffer and the PPE/APE models, so precision limits
+        and prefix-availability bugs surface as :class:`SimulationError`.
+        """
+        from ..core.classification import NodeType
+        from ..scoreboard.info import ScoreboardInfo
+        from .dispatcher import Dispatcher
+
+        weight_tile = np.asarray(weight_tile)
+        act_tile = np.asarray(act_tile, dtype=np.int64)
+        width = self.config.transrow_bits
+        if weight_tile.ndim != 2 or weight_tile.shape[1] != width:
+            raise SimulationError(
+                f"weight tile must be (n, {width}), got {weight_tile.shape}"
+            )
+        if act_tile.shape[0] != width:
+            raise SimulationError(
+                f"activation tile must have {width} rows, got {act_tile.shape}"
+            )
+
+        planes = bit_slice(weight_tile, weight_bits)
+        plane_weights = bit_plane_weights(weight_bits)
+        n_rows = weight_tile.shape[0]
+        m = act_tile.shape[1]
+
+        transrows: List[tuple] = []
+        for row in range(n_rows):
+            for plane in range(weight_bits - 1, -1, -1):
+                value = int(pack_bits_to_uint(planes.planes[plane, row]))
+                transrows.append((value, row, plane))
+
+        outcome = self.scoreboard.process([value for value, _, _ in transrows])
+        info = ScoreboardInfo.from_result(outcome.result)
+        dispatcher = Dispatcher(info, width)
+        prefix_buffer = DistributedPrefixBuffer(
+            num_banks=self.config.lanes,
+            capacity_bytes=self.config.prefix_buffer_bytes,
+            entry_bytes=m * 2,
+        )
+        ppe = PrefixPE(self.config.ppe_adder_bits)
+        ape = AccumulationPE(self.config.ape_adder_bits)
+        graph = hasse_graph(width)
+
+        # PPE stage: materialise every executed node's partial sum in Hamming
+        # order so each prefix is resident in its lane bank before its
+        # suffixes need it (relay TR nodes included).
+        for node in sorted(outcome.result.nodes.values(),
+                           key=lambda n: (graph.level(n.index), n.index)):
+            prefix_sum = prefix_buffer.read(node.lane, node.prefix)
+            input_row = self._input_row(act_tile, node.index ^ node.prefix)
+            prefix_buffer.write(node.lane, node.index, ppe.add(prefix_sum, input_row))
+        # Outliers (no valid prefix chain) are computed from scratch at the end
+        # of the schedule, one add per set bit.
+        for outlier in outcome.result.outliers:
+            total = np.zeros(m, dtype=np.int64)
+            for bit in range(width):
+                if outlier.index & (1 << bit):
+                    total = ppe.add(total, self._input_row(act_tile, 1 << bit))
+            prefix_buffer.write(0, outlier.index, total)
+
+        # APE stage: every TransRow reads its node's partial sum and folds it
+        # into the output row with the bit-plane shift.  The dispatcher is
+        # consulted for lane routing and FR/PR classification, matching the
+        # hardware flow of Fig. 8 steps 2-4.
+        output = np.zeros((n_rows, m), dtype=np.int64)
+        outlier_indices = {o.index for o in outcome.result.outliers}
+        for value, row, plane in transrows:
+            record = dispatcher.dispatch(value, source_row=row, bit_level=plane)
+            if record.node_type is NodeType.ZERO_ROW:
+                continue
+            lane = 0 if value in outlier_indices else record.lane
+            result = prefix_buffer.read(lane, value)
+            output[row] = ape.accumulate(output[row], result, int(plane_weights[plane]))
+        return output
+
+    def _input_row(self, act_tile: np.ndarray, mask: int) -> np.ndarray:
+        """Input rows addressed by a TranSparsity mask, summed (MSB = row 0)."""
+        width = self.config.transrow_bits
+        total = np.zeros(act_tile.shape[1], dtype=np.int64)
+        for bit in range(width):
+            if mask & (1 << bit):
+                total = total + act_tile[width - 1 - bit]
+        return total
+
+    # ----------------------------------------------------------- pipeline
+    def pipeline_estimate(self, report: SubTileReport, num_subtiles: int) -> PipelineEstimate:
+        """Steady-state pipeline estimate for a stream of similar sub-tiles."""
+        return pipeline_cycles(
+            scoreboard_cycles=report.scoreboard_cycles,
+            ppe_cycles=report.ppe_cycles,
+            ape_cycles=report.ape_cycles,
+            num_subtiles=num_subtiles,
+        )

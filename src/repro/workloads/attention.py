@@ -1,0 +1,57 @@
+"""Generic attention GEMM construction (beyond the LLaMA presets).
+
+Attention is the workload that motivates the *dynamic* scoreboard: the Q and K
+tensors are produced at run time, so no offline execution order exists.  The
+helper here builds the two score GEMMs of a multi-head attention layer for any
+(heads, head_dim, sequence length) combination, including grouped-query
+attention where the KV heads are fewer than the query heads.
+"""
+
+from __future__ import annotations
+
+from ..errors import WorkloadError
+from .gemm import GemmShape, GemmWorkload
+
+
+def attention_gemms(
+    name: str,
+    num_heads: int,
+    head_dim: int,
+    sequence_length: int,
+    num_kv_heads: int = None,
+    weight_bits: int = 8,
+    activation_bits: int = 8,
+) -> GemmWorkload:
+    """Build the ``Q @ K^T`` and ``P @ V`` GEMMs of one attention layer.
+
+    The KV cache plays the weight role (as in the paper's Fig. 12 evaluation);
+    with grouped-query attention each KV head serves ``num_heads /
+    num_kv_heads`` query heads, which does not change the GEMM volume because
+    the scores are still computed per query head.
+    """
+    if min(num_heads, head_dim, sequence_length) < 1:
+        raise WorkloadError("attention dimensions must be positive")
+    kv_heads = num_kv_heads if num_kv_heads is not None else num_heads
+    if kv_heads < 1 or num_heads % kv_heads != 0:
+        raise WorkloadError(
+            f"num_kv_heads={kv_heads} must divide num_heads={num_heads}"
+        )
+    shapes = [
+        GemmShape(
+            "qk_t",
+            n=sequence_length * num_heads,
+            k=head_dim,
+            m=sequence_length,
+            weight_bits=weight_bits,
+            activation_bits=activation_bits,
+        ),
+        GemmShape(
+            "pv",
+            n=sequence_length * num_heads,
+            k=sequence_length,
+            m=head_dim,
+            weight_bits=weight_bits,
+            activation_bits=activation_bits,
+        ),
+    ]
+    return GemmWorkload(name=name, gemms=shapes)

@@ -1,0 +1,149 @@
+"""LLaMA layer shapes used in Fig. 10 / Fig. 12 of the paper.
+
+The paper evaluates the first Transformer block of LLaMA-1 (7B/13B/30B/65B),
+LLaMA-2 (7B/13B) and LLaMA-3 (8B) at a prefill sequence length of 2048 and
+notes that all blocks are identical, so one block is representative.  The
+dimensions below come from the published model configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import WorkloadError
+from .gemm import GemmShape, GemmWorkload
+
+#: Prefill sequence length used throughout the evaluation.
+DEFAULT_SEQUENCE_LENGTH: int = 2048
+
+
+@dataclass(frozen=True)
+class LlamaConfig:
+    """Architecture parameters of one LLaMA variant."""
+
+    name: str
+    hidden_size: int
+    intermediate_size: int
+    num_attention_heads: int
+    num_key_value_heads: int
+    num_layers: int
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension of the attention projections."""
+        return self.hidden_size // self.num_attention_heads
+
+    @property
+    def kv_hidden_size(self) -> int:
+        """Output width of the K/V projections (smaller under GQA)."""
+        return self.num_key_value_heads * self.head_dim
+
+
+LLAMA_MODELS: Dict[str, LlamaConfig] = {
+    "llama1-7b": LlamaConfig("llama1-7b", 4096, 11008, 32, 32, 32),
+    "llama1-13b": LlamaConfig("llama1-13b", 5120, 13824, 40, 40, 40),
+    "llama1-30b": LlamaConfig("llama1-30b", 6656, 17920, 52, 52, 60),
+    "llama1-65b": LlamaConfig("llama1-65b", 8192, 22016, 64, 64, 80),
+    "llama2-7b": LlamaConfig("llama2-7b", 4096, 11008, 32, 32, 32),
+    "llama2-13b": LlamaConfig("llama2-13b", 5120, 13824, 40, 40, 40),
+    "llama3-8b": LlamaConfig("llama3-8b", 4096, 14336, 32, 8, 32),
+}
+
+
+def llama_model(name: str) -> LlamaConfig:
+    """Look up a LLaMA configuration by its evaluation name."""
+    try:
+        return LLAMA_MODELS[name]
+    except KeyError as exc:
+        raise WorkloadError(
+            f"unknown LLaMA model '{name}'; available: {sorted(LLAMA_MODELS)}"
+        ) from exc
+
+
+def llama_fc_gemms(
+    name: str,
+    sequence_length: int = DEFAULT_SEQUENCE_LENGTH,
+    weight_bits: int = 8,
+    activation_bits: int = 8,
+) -> GemmWorkload:
+    """Fully-connected GEMMs of one Transformer block (Fig. 10's workload).
+
+    The block contains the four attention projections (Q, K, V, O) and the
+    three MLP projections (gate, up, down).  Weights are the ``N x K`` operand,
+    activations are ``K x M`` with ``M`` the prefill sequence length.
+    """
+    config = llama_model(name)
+    if sequence_length < 1:
+        raise WorkloadError("sequence length must be positive")
+    hidden = config.hidden_size
+    inter = config.intermediate_size
+    kv = config.kv_hidden_size
+    shapes = [
+        GemmShape("q_proj", hidden, hidden, sequence_length, weight_bits, activation_bits),
+        GemmShape("k_proj", kv, hidden, sequence_length, weight_bits, activation_bits),
+        GemmShape("v_proj", kv, hidden, sequence_length, weight_bits, activation_bits),
+        GemmShape("o_proj", hidden, hidden, sequence_length, weight_bits, activation_bits),
+        GemmShape("gate_proj", inter, hidden, sequence_length, weight_bits, activation_bits),
+        GemmShape("up_proj", inter, hidden, sequence_length, weight_bits, activation_bits),
+        GemmShape("down_proj", hidden, inter, sequence_length, weight_bits, activation_bits),
+    ]
+    return GemmWorkload(name=f"{name}-fc", gemms=shapes)
+
+
+def llama_attention_gemms(
+    name: str,
+    sequence_length: int = DEFAULT_SEQUENCE_LENGTH,
+    weight_bits: int = 8,
+    activation_bits: int = 8,
+) -> GemmWorkload:
+    """Attention-score GEMMs of one block (Fig. 12's workload).
+
+    Following the paper, the K and V caches are treated as the weight operand:
+    per attention head the ``Q @ K^T`` GEMM is ``(seq, head_dim) x (head_dim,
+    seq)`` and the ``P @ V`` GEMM is ``(seq, seq) x (seq, head_dim)``.  The
+    per-head GEMMs of all heads are folded into the ``n`` dimension so the
+    workload stays a flat list of GEMMs.
+    """
+    config = llama_model(name)
+    if sequence_length < 1:
+        raise WorkloadError("sequence length must be positive")
+    heads = config.num_attention_heads
+    head_dim = config.head_dim
+    shapes = [
+        GemmShape(
+            "qk_t",
+            n=sequence_length * heads,
+            k=head_dim,
+            m=sequence_length,
+            weight_bits=weight_bits,
+            activation_bits=activation_bits,
+        ),
+        GemmShape(
+            "pv",
+            n=sequence_length * heads,
+            k=sequence_length,
+            m=head_dim,
+            weight_bits=weight_bits,
+            activation_bits=activation_bits,
+        ),
+    ]
+    return GemmWorkload(name=f"{name}-attention", gemms=shapes)
+
+
+def fc_evaluation_models() -> List[str]:
+    """Model list of Fig. 10, in plotting order."""
+    return [
+        "llama1-7b",
+        "llama1-13b",
+        "llama1-30b",
+        "llama1-65b",
+        "llama2-7b",
+        "llama2-13b",
+        "llama3-8b",
+    ]
+
+
+def attention_evaluation_models() -> List[str]:
+    """Model list of Fig. 12, in plotting order."""
+    return ["llama1-7b", "llama2-7b", "llama3-8b"]

@@ -1,0 +1,90 @@
+"""Synthetic tensor generators standing in for the paper's model traces.
+
+The paper extracts real LLaMA weights and activations; offline we generate
+synthetic tensors with matching first-order statistics: weights are Gaussian
+with a small fraction of heavy-tailed outlier channels (the structure that
+motivates Olive/SmoothQuant), activations are Gaussian with per-token outliers,
+and the design-space exploration uses uniform 0/1 matrices exactly as the
+paper's Fig. 9 does.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def random_binary_matrix(rows: int, cols: int, density: float = 0.5,
+                         seed: Optional[int] = None) -> np.ndarray:
+    """Uniform random 0/1 matrix (the Fig. 9 design-space input)."""
+    if rows < 1 or cols < 1:
+        raise WorkloadError("matrix dimensions must be positive")
+    if not 0.0 <= density <= 1.0:
+        raise WorkloadError(f"density must be in [0, 1], got {density}")
+    return (_rng(seed).random((rows, cols)) < density).astype(np.uint8)
+
+
+def random_transrow_values(count: int, width: int, seed: Optional[int] = None) -> np.ndarray:
+    """Uniform random TransRow values in ``[0, 2**width)``."""
+    if count < 1:
+        raise WorkloadError("count must be positive")
+    if width < 1 or width > 16:
+        raise WorkloadError(f"width must be in [1, 16], got {width}")
+    return _rng(seed).integers(0, 1 << width, size=count, dtype=np.int64)
+
+
+def gaussian_weight_matrix(rows: int, cols: int, std: float = 0.02,
+                           seed: Optional[int] = None) -> np.ndarray:
+    """Float weight matrix with the Gaussian profile typical of trained DNNs."""
+    if rows < 1 or cols < 1:
+        raise WorkloadError("matrix dimensions must be positive")
+    return _rng(seed).normal(0.0, std, size=(rows, cols))
+
+
+def outlier_weight_matrix(rows: int, cols: int, std: float = 0.02,
+                          outlier_fraction: float = 0.01, outlier_scale: float = 10.0,
+                          seed: Optional[int] = None) -> np.ndarray:
+    """Gaussian weights with a fraction of heavy-tailed outlier channels.
+
+    LLM weight/activation tensors famously contain a few channels whose
+    magnitude is an order of magnitude larger than the rest; those channels are
+    what outlier-aware quantizers (Olive, SmoothQuant, AWQ) are designed
+    around, so the accuracy comparison needs them present.
+    """
+    if not 0.0 <= outlier_fraction <= 1.0:
+        raise WorkloadError("outlier_fraction must be in [0, 1]")
+    rng = _rng(seed)
+    matrix = rng.normal(0.0, std, size=(rows, cols))
+    num_outlier_cols = max(1, int(round(cols * outlier_fraction))) if outlier_fraction > 0 else 0
+    if num_outlier_cols:
+        outlier_cols = rng.choice(cols, size=num_outlier_cols, replace=False)
+        matrix[:, outlier_cols] *= outlier_scale
+    return matrix
+
+
+def quantized_activation_matrix(rows: int, cols: int, bits: int = 8,
+                                outlier_fraction: float = 0.005,
+                                seed: Optional[int] = None) -> np.ndarray:
+    """Synthetic integer activations with token-wise outliers.
+
+    Values follow a clipped Gaussian quantized to ``bits`` and a small fraction
+    of entries are pushed toward the representable extremes, mimicking GLU /
+    attention activations after SmoothQuant-style balancing.
+    """
+    if bits < 2 or bits > 16:
+        raise WorkloadError(f"activation bits must be in [2, 16], got {bits}")
+    rng = _rng(seed)
+    hi = (1 << (bits - 1)) - 1
+    lo = -(1 << (bits - 1))
+    values = np.clip(np.round(rng.normal(0.0, hi / 4, size=(rows, cols))), lo, hi)
+    if outlier_fraction > 0:
+        mask = rng.random((rows, cols)) < outlier_fraction
+        values[mask] = rng.choice([lo, hi], size=int(mask.sum()))
+    return values.astype(np.int64)

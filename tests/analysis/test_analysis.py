@@ -1,0 +1,106 @@
+"""Tests for the design-space, comparison and scoreboard-study harnesses."""
+
+import pytest
+
+from repro.analysis import (
+    attention_comparison,
+    density_vs_bitwidth,
+    density_vs_row_size,
+    fc_layer_comparison,
+    format_table,
+    geomean,
+    node_type_vs_bitwidth,
+    node_type_vs_row_size,
+    resnet_comparison,
+    scoreboard_density_study,
+    true_distance_histogram,
+)
+from repro.analysis.comparison import geomean_speedup
+from repro.errors import ReproError, SimulationError, WorkloadError
+
+
+class TestDesignSpace:
+    def test_density_floor_follows_one_over_t(self):
+        points = density_vs_bitwidth(bit_widths=(2, 4, 8), row_size=256,
+                                     matrix_size=256, max_tiles=2)
+        by_width = {p.bit_width: p.density for p in points}
+        assert by_width[2] == pytest.approx(0.375, abs=0.02)
+        assert by_width[4] == pytest.approx(0.235, abs=0.02)
+        assert by_width[8] == pytest.approx(0.127, abs=0.02)
+
+    def test_density_improves_with_row_size_for_8bit(self):
+        points = density_vs_row_size(bit_widths=(8,), row_sizes=(16, 256),
+                                     matrix_size=256, max_tiles=2)
+        small = next(p.density for p in points if p.row_size == 16)
+        large = next(p.density for p in points if p.row_size == 256)
+        assert large < small
+
+    def test_node_type_shares_sum_to_about_100(self):
+        shares = node_type_vs_bitwidth(bit_widths=(4, 8), row_size=128, matrix_size=128)
+        for share in shares.values():
+            total = share["ZR"] + share["FR"] + share["PR"] + share["OUTLIER"]
+            assert total == pytest.approx(100.0, abs=0.1)
+
+    def test_node_type_vs_row_size_keys(self):
+        shares = node_type_vs_row_size(row_sizes=(32, 64), matrix_size=128)
+        assert set(shares) == {32, 64}
+
+    def test_true_distance_histogram_counts_present_nodes(self):
+        histogram = true_distance_histogram([1, 3, 7, 15, 8], width=4)
+        assert sum(histogram.values()) == 5
+        assert histogram[1] >= 4  # the 1-3-7-15 chain is all distance 1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(WorkloadError):
+            density_vs_row_size(bit_widths=(0,), row_sizes=(16,), matrix_size=64)
+
+
+class TestComparisons:
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        with pytest.raises(SimulationError):
+            geomean([])
+        with pytest.raises(SimulationError):
+            geomean([1.0, -1.0])
+
+    def test_fc_comparison_headline_ordering(self):
+        rows = fc_layer_comparison(models=["llama1-7b"], sequence_length=256,
+                                   samples_per_gemm=2)
+        ta4 = geomean_speedup(rows, "transarray-4bit")
+        ta8 = geomean_speedup(rows, "transarray-8bit")
+        bitvert = geomean_speedup(rows, "bitvert")
+        assert ta4 > ta8 > bitvert > 1.0
+        olive_rows = [r for r in rows if r.accelerator == "olive"]
+        assert all(r.speedup == pytest.approx(1.0) for r in olive_rows)
+
+    def test_attention_comparison_supports_only_online_designs(self):
+        rows = attention_comparison(models=["llama1-7b"], sequence_length=256,
+                                    samples_per_gemm=2)
+        accelerators = {r.accelerator for r in rows}
+        assert accelerators == {"bitfusion-16bit", "ant-8bit", "transarray-8bit"}
+        assert geomean_speedup(rows, "transarray-8bit") > 1.0
+
+    def test_resnet_comparison_covers_all_layers(self):
+        rows = resnet_comparison(samples_per_gemm=2)
+        layers = {r.workload for r in rows}
+        assert "conv1" in layers and "fc" in layers
+        assert geomean_speedup(rows, "transarray") > 1.0
+
+
+class TestScoreboardStudyAndReporting:
+    def test_dynamic_beats_static_at_small_tiles(self):
+        points = scoreboard_density_study(row_sizes=(64, 256), matrix_rows=256,
+                                          matrix_cols=32, max_tiles=2)
+        def density(data, mode, row):
+            return next(p.density for p in points
+                        if p.data == data and p.mode == mode and p.row_size == row)
+        for data in ("real", "random"):
+            assert density(data, "dynamic", 64) <= density(data, "static", 64)
+
+    def test_format_table_alignment_and_validation(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", 3.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        with pytest.raises(ReproError):
+            format_table(["a"], [[1, 2]])

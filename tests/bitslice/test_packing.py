@@ -1,0 +1,56 @@
+"""Tests for TransRow packing helpers and the bit-ordering convention."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitslice import pack_bits_to_uint, popcount, unpack_uint_to_bits
+from repro.errors import BitSliceError
+
+
+class TestPacking:
+    def test_paper_convention_msb_is_first_input_row(self):
+        # The pattern 1011 from Fig. 1 selects input rows 0, 2, 3 and packs to 11.
+        assert pack_bits_to_uint(np.array([1, 0, 1, 1])) == 11
+
+    def test_pack_unpack_roundtrip(self):
+        bits = np.array([[1, 1, 1, 1], [0, 0, 1, 0], [0, 0, 0, 0]])
+        values = pack_bits_to_uint(bits)
+        assert values.tolist() == [15, 2, 0]
+        np.testing.assert_array_equal(unpack_uint_to_bits(values, 4), bits)
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(BitSliceError):
+            pack_bits_to_uint(np.array([[2, 0, 1, 1]]))
+
+    def test_out_of_range_unpack_rejected(self):
+        with pytest.raises(BitSliceError):
+            unpack_uint_to_bits(np.array([16]), 4)
+        with pytest.raises(BitSliceError):
+            unpack_uint_to_bits(np.array([-1]), 4)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(BitSliceError):
+            unpack_uint_to_bits(np.array([0]), 0)
+
+    @given(st.integers(min_value=1, max_value=12), st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, width, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 1 << width, size=20, dtype=np.int64)
+        bits = unpack_uint_to_bits(values, width)
+        np.testing.assert_array_equal(pack_bits_to_uint(bits), values)
+
+
+class TestPopcount:
+    def test_matches_python_bin(self):
+        values = np.array([0, 1, 3, 255, 128, 170])
+        expected = [bin(v).count("1") for v in values]
+        assert popcount(values).tolist() == expected
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**16 - 1), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_popcount_property(self, values):
+        result = popcount(np.array(values, dtype=np.int64))
+        assert result.tolist() == [bin(v).count("1") for v in values]

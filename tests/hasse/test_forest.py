@@ -1,0 +1,83 @@
+"""Tests of the balanced-forest lane partition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ScoreboardError
+from repro.hasse import ForestCandidate, HasseGraph, build_balanced_forest
+from repro.scoreboard import run_scoreboard
+
+
+class TestBalancedForest:
+    def test_level1_nodes_root_separate_lanes(self):
+        graph = HasseGraph(4)
+        candidates = [
+            ForestCandidate(index=1, count=1, candidates=(0,)),
+            ForestCandidate(index=2, count=1, candidates=(0,)),
+            ForestCandidate(index=4, count=1, candidates=(0,)),
+        ]
+        forest = build_balanced_forest(graph, candidates)
+        lanes = {forest.lane_of(c.index) for c in candidates}
+        assert len(lanes) == 3
+
+    def test_child_joins_lightest_candidate_lane(self):
+        graph = HasseGraph(4)
+        candidates = [
+            ForestCandidate(index=1, count=5, candidates=(0,)),
+            ForestCandidate(index=2, count=1, candidates=(0,)),
+            ForestCandidate(index=3, count=1, candidates=(1, 2)),
+        ]
+        forest = build_balanced_forest(graph, candidates)
+        assert forest.prefix_of(3) == 2
+        assert forest.lane_of(3) == forest.lane_of(2)
+
+    def test_workloads_count_transrows_and_relays(self):
+        graph = HasseGraph(4)
+        candidates = [
+            ForestCandidate(index=2, count=2, candidates=(0,)),
+            ForestCandidate(index=6, count=0, candidates=(2,), is_relay=True),
+            ForestCandidate(index=14, count=1, candidates=(6,)),
+        ]
+        forest = build_balanced_forest(graph, candidates)
+        assert sum(forest.lane_workloads) == 4  # 2 + 1 relay + 1
+
+    def test_node_zero_rejected(self):
+        graph = HasseGraph(4)
+        with pytest.raises(ScoreboardError):
+            build_balanced_forest(graph, [ForestCandidate(index=0, count=1, candidates=(0,))])
+
+    def test_unplaced_prefix_rejected(self):
+        graph = HasseGraph(4)
+        with pytest.raises(ScoreboardError):
+            build_balanced_forest(
+                graph, [ForestCandidate(index=3, count=1, candidates=(1,))]
+            )
+
+    def test_missing_node_lookup_raises(self):
+        graph = HasseGraph(4)
+        forest = build_balanced_forest(
+            graph, [ForestCandidate(index=1, count=1, candidates=(0,))]
+        )
+        with pytest.raises(ScoreboardError):
+            forest.lane_of(2)
+
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=32, max_size=256))
+    @settings(max_examples=25, deadline=None)
+    def test_forest_workload_is_conserved(self, values):
+        """Every TransRow and relay step lands on exactly one lane."""
+        result = run_scoreboard(values, width=8)
+        expected = sum(max(node.count, 1) for node in result.nodes.values())
+        assert sum(result.forest.lane_workloads) == expected
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_forest_imbalance_is_small_for_uniform_populations(self, seed):
+        """For uniform 256-row sub-tiles (the hardware's operating point) the
+        greedy balancer keeps the heaviest lane within 2x of the mean, matching
+        the paper's near-perfect balance claim."""
+        import numpy as np
+
+        values = np.random.default_rng(seed).integers(0, 256, size=256).tolist()
+        result = run_scoreboard(values, width=8)
+        assert result.forest.imbalance <= 2.0

@@ -1,0 +1,146 @@
+"""Tests for SI tables, entry bit-field encoding/translators and the sorter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ScoreboardError
+from repro.scoreboard import (
+    EntryLayout,
+    ScoreboardEntryFields,
+    ScoreboardInfo,
+    bitonic_stage_count,
+    decode_entry,
+    encode_entry,
+    prefix_translator,
+    run_scoreboard,
+    sort_by_popcount,
+    sorter_cycles,
+    suffix_translator,
+)
+from repro.scoreboard.entry import prefix_bitmap_from_nodes, suffix_bitmap_from_nodes
+
+
+class TestScoreboardInfo:
+    def test_si_memory_budget_matches_paper(self):
+        result = run_scoreboard([1, 2, 3], width=8)
+        info = ScoreboardInfo.from_result(result)
+        assert info.memory_bits == 2 * 8 * 256
+        assert info.memory_bytes == 512  # the paper's "only 512 Bytes" for T = 8
+
+    def test_lookup_hit_and_miss(self):
+        result = run_scoreboard([3, 11, 2], width=4)
+        info = ScoreboardInfo.from_result(result)
+        assert info.lookup(11).prefix == 3
+        assert info.lookup(11).transparsity == 8
+        assert info.lookup(13) is None
+        with pytest.raises(ScoreboardError):
+            info.lookup(16)
+
+    def test_prefix_chain_descends_to_zero(self):
+        rng = np.random.default_rng(0)
+        result = run_scoreboard(rng.integers(0, 256, size=200).tolist(), width=8)
+        info = ScoreboardInfo.from_result(result)
+        for value in list(result.nodes)[:50]:
+            chain = info.prefix_chain(value)
+            assert chain[-1] == 0 or info.lookup(chain[-1]) is None
+
+    def test_lanes_grouped_in_hamming_order(self):
+        result = run_scoreboard([14, 2, 5, 1, 15, 7, 2], width=4)
+        lanes = ScoreboardInfo.from_result(result).lanes()
+        for entries in lanes.values():
+            popcounts = [bin(e.transrow).count("1") for e in entries]
+            assert popcounts == sorted(popcounts)
+
+
+class TestEntryEncoding:
+    def test_layout_widths_for_4bit(self):
+        layout = EntryLayout(width=4)
+        assert layout.node_bits == 4
+        assert layout.prefix_bitmap_bits == 16
+        assert layout.suffix_bitmap_bits == 4
+        assert layout.lane_bits == 2
+        assert layout.total_bits == 34
+
+    def test_table_bytes_for_8bit(self):
+        layout = EntryLayout(width=8)
+        assert layout.table_bytes() == (256 * layout.total_bits + 7) // 8
+
+    def test_encode_decode_roundtrip(self):
+        layout = EntryLayout(width=4)
+        fields = ScoreboardEntryFields(
+            node=10, count=3, prefix_bitmaps=(0b0010, 0, 0b1000, 0),
+            suffix_bitmap=0b0101, lane=2,
+        )
+        assert decode_entry(encode_entry(fields, layout), layout) == fields
+
+    def test_encode_rejects_overflow(self):
+        layout = EntryLayout(width=4)
+        with pytest.raises(ScoreboardError):
+            encode_entry(ScoreboardEntryFields(16, 0, (0, 0, 0, 0), 0, 0), layout)
+        with pytest.raises(ScoreboardError):
+            encode_entry(ScoreboardEntryFields(1, 256, (0, 0, 0, 0), 0, 0), layout)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, seed):
+        rng = np.random.default_rng(seed)
+        layout = EntryLayout(width=8)
+        node = int(rng.integers(0, 256))
+        fields = ScoreboardEntryFields(
+            node=node,
+            count=int(rng.integers(0, 256)),
+            prefix_bitmaps=tuple(int(rng.integers(0, 256)) for _ in range(4)),
+            suffix_bitmap=int(rng.integers(0, 256)),
+            lane=int(rng.integers(0, 8)),
+        )
+        assert decode_entry(encode_entry(fields, layout), layout) == fields
+
+
+class TestTranslators:
+    def test_paper_figure6_prefix_example(self):
+        # Node 10 (1010) with prefix bitmap 0010 decodes to prefix 8 (1000).
+        assert prefix_translator(0b1010, 0b0010, 4) == [0b1000]
+
+    def test_paper_figure6_suffix_example(self):
+        # Node 10 (1010) with suffix bitmap 0101 decodes to suffixes 11 and 14.
+        assert sorted(suffix_translator(0b1010, 0b0101, 4)) == [0b1011, 0b1110]
+
+    def test_prefix_translator_rejects_clear_bit(self):
+        with pytest.raises(ScoreboardError):
+            prefix_translator(0b1010, 0b0001, 4)
+
+    def test_suffix_translator_rejects_set_bit(self):
+        with pytest.raises(ScoreboardError):
+            suffix_translator(0b1010, 0b0010, 4)
+
+    def test_bitmap_encoding_roundtrip(self):
+        node = 0b1010
+        prefixes = [0b0010, 0b1000]
+        bitmap = prefix_bitmap_from_nodes(node, prefixes, 4)
+        assert sorted(prefix_translator(node, bitmap, 4)) == sorted(prefixes)
+        suffixes = [0b1011, 0b1110]
+        bitmap = suffix_bitmap_from_nodes(node, suffixes, 4)
+        assert sorted(suffix_translator(node, bitmap, 4)) == sorted(suffixes)
+
+
+class TestSorter:
+    def test_sort_is_stable_within_level(self):
+        values = [3, 5, 1, 6, 2, 15]
+        ordered = sort_by_popcount(values)
+        assert [bin(v).count("1") for v in ordered] == sorted(bin(v).count("1") for v in values)
+        assert [v for v in ordered if bin(v).count("1") == 2] == [3, 5, 6]
+
+    def test_stage_count_formula(self):
+        assert bitonic_stage_count(1) == 0
+        assert bitonic_stage_count(2) == 1
+        assert bitonic_stage_count(256) == 36  # 8 * 9 / 2
+
+    def test_sorter_cycles_monotone(self):
+        assert sorter_cycles(16) <= sorter_cycles(256)
+        assert sorter_cycles(256, pipelined=False) >= sorter_cycles(256)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ScoreboardError):
+            bitonic_stage_count(0)
