@@ -37,6 +37,15 @@ def test_functional_transitive_gemm(benchmark):
     assert (report.output == weight @ act).all()
 
 
+def test_functional_transitive_gemm_scalar_oracle(benchmark):
+    rng = np.random.default_rng(2)
+    weight = rng.integers(-128, 128, size=(32, 64), dtype=np.int64)
+    act = rng.integers(-128, 128, size=(64, 16), dtype=np.int64)
+    engine = TransitiveGemmEngine(transrow_bits=8, fast=False)
+    report = benchmark(engine.multiply, weight, act, 8)
+    assert (report.output == weight @ act).all()
+
+
 def test_unit_subtile_execution(benchmark):
     rng = np.random.default_rng(3)
     weight = rng.integers(-128, 128, size=(32, 8), dtype=np.int64)

@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark of the vectorized GEMM fast path (BENCH_perf_gemm.json).
+
+Two measurements anchor the performance trajectory of the engine:
+
+* ``speedup_1024``: fast path vs the scalar oracle on a 1024x1024x16 GEMM
+  (T=8, 4-bit weights) — the acceptance gate is a >= 10x speedup;
+* ``llama_fc_4096``: the fast path alone on a LLaMA-7B-style 4096x4096x16
+  FC layer (8-bit weights), cold and with a warm static-scoreboard cache
+  (the serving scenario).  The scalar oracle is far too slow to run at this
+  size, which is the point of this PR.
+
+Run as a script (``python benchmarks/bench_perf_gemm.py``) or through pytest
+(``pytest benchmarks/bench_perf_gemm.py``); both write ``BENCH_perf_gemm.json``
+at the repository root.  Every result is checked bit-exact against NumPy.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+import sys
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import TransitiveGemmEngine  # noqa: E402
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf_gemm.json"
+
+
+def _time(func, repeats=1):
+    """Best-of-``repeats`` wall-clock time and the (last) function result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _random_gemm(rng, n, k, m, weight_bits):
+    lo, hi = -(1 << (weight_bits - 1)), (1 << (weight_bits - 1)) - 1
+    weight = rng.integers(lo, hi + 1, size=(n, k), dtype=np.int64)
+    activation = rng.integers(-128, 128, size=(k, m), dtype=np.int64)
+    return weight, activation
+
+
+def bench_speedup_1024():
+    """Fast vs scalar on 1024x1024x16 (T=8, S=4); asserts bit-exactness."""
+    rng = np.random.default_rng(0)
+    weight, activation = _random_gemm(rng, 1024, 1024, 16, weight_bits=4)
+    expected = weight @ activation
+
+    fast = TransitiveGemmEngine(transrow_bits=8, max_distance=4, fast=True)
+    fast.multiply(weight, activation, 4)  # warm-up: lattice tables + cache fill
+    fast_cached_s, report = _time(lambda: fast.multiply(weight, activation, 4),
+                                  repeats=3)
+    uncached = TransitiveGemmEngine(
+        transrow_bits=8, max_distance=4, fast=True, scoreboard_cache_entries=0
+    )
+    uncached.multiply(weight, activation, 4)  # warm-up without caching
+    fast_s, fast_report = _time(lambda: uncached.multiply(weight, activation, 4),
+                                repeats=3)
+
+    scalar = TransitiveGemmEngine(transrow_bits=8, max_distance=4, fast=False)
+    scalar_s, scalar_report = _time(lambda: scalar.multiply(weight, activation, 4))
+
+    assert np.array_equal(report.output, expected)
+    assert np.array_equal(fast_report.output, expected)
+    assert np.array_equal(scalar_report.output, expected)
+    assert fast_report.op_counts == scalar_report.op_counts
+    return {
+        "shape": [1024, 1024, 16],
+        "transrow_bits": 8,
+        "weight_bits": 4,
+        "scalar_s": scalar_s,
+        "fast_s": fast_s,
+        "fast_cached_s": fast_cached_s,
+        "speedup": scalar_s / fast_s,
+        "speedup_cached": scalar_s / fast_cached_s,
+        "density": report.op_counts.density,
+    }
+
+
+def bench_llama_fc_4096():
+    """Fast path on a LLaMA-style 4096x4096x16 FC layer (8-bit weights)."""
+    rng = np.random.default_rng(1)
+    weight, activation = _random_gemm(rng, 4096, 4096, 16, weight_bits=8)
+    expected = weight @ activation
+
+    engine = TransitiveGemmEngine(transrow_bits=8, max_distance=4, fast=True)
+    cold_s, report = _time(lambda: engine.multiply(weight, activation, 8))
+    new_activation = rng.integers(-128, 128, size=(4096, 16), dtype=np.int64)
+    warm_s, warm_report = _time(lambda: engine.multiply(weight, new_activation, 8))
+
+    assert np.array_equal(report.output, expected)
+    assert np.array_equal(warm_report.output, weight @ new_activation)
+    info = engine.scoreboard_cache_info()
+    assert info.hits >= 1
+    return {
+        "shape": [4096, 4096, 16],
+        "transrow_bits": 8,
+        "weight_bits": 8,
+        "fast_cold_s": cold_s,
+        "fast_cached_s": warm_s,
+        "total_transrows": report.op_counts.total_transrows,
+        "density": report.op_counts.density,
+    }
+
+
+def run(write: bool = True) -> dict:
+    results = {
+        "benchmark": "bench_perf_gemm",
+        "speedup_1024": bench_speedup_1024(),
+        "llama_fc_4096": bench_llama_fc_4096(),
+    }
+    if write:
+        OUTPUT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def test_fast_path_speedup_over_scalar():
+    """Tier-2 gate: the fast path is >= 10x the scalar engine at LLM tile size."""
+    results = run(write=True)
+    assert results["speedup_1024"]["speedup"] >= 10.0
+
+
+def main() -> None:
+    results = run(write=True)
+    one = results["speedup_1024"]
+    llama = results["llama_fc_4096"]
+    print(f"1024x1024x16 (T=8, S=4): scalar {one['scalar_s']:.3f}s, "
+          f"fast {one['fast_s']:.3f}s ({one['speedup']:.1f}x), "
+          f"cached {one['fast_cached_s']:.3f}s ({one['speedup_cached']:.1f}x)")
+    print(f"4096x4096x16 (T=8, S=8): fast cold {llama['fast_cold_s']:.3f}s, "
+          f"cached {llama['fast_cached_s']:.3f}s")
+    print(f"wrote {OUTPUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

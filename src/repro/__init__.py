@@ -48,7 +48,15 @@ from .errors import (
     SimulationError,
     WorkloadError,
 )
-from .scoreboard import DynamicScoreboard, ScoreboardInfo, StaticScoreboard, run_scoreboard
+from .scoreboard import (
+    BatchedScoreboard,
+    DynamicScoreboard,
+    ScoreboardInfo,
+    StaticScoreboard,
+    run_scoreboard,
+    run_scoreboard_batch,
+    run_scoreboards_batched,
+)
 
 __version__ = "1.0.0"
 
@@ -73,9 +81,12 @@ __all__ = [
     "ScoreboardError",
     "SimulationError",
     "WorkloadError",
+    "BatchedScoreboard",
     "DynamicScoreboard",
     "ScoreboardInfo",
     "StaticScoreboard",
     "run_scoreboard",
+    "run_scoreboard_batch",
+    "run_scoreboards_batched",
     "__version__",
 ]

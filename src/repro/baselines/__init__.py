@@ -27,9 +27,15 @@ __all__ = [
 ]
 
 
-def baseline_registry():
-    """Name -> constructor mapping for every baseline accelerator."""
-    return {
+def baseline_registry(include_transarray: bool = False, fast: bool = True):
+    """Name -> constructor mapping for every baseline accelerator.
+
+    With ``include_transarray`` the TransArray itself joins the line-up (the
+    import is deferred to avoid a package cycle); ``fast`` selects its
+    vectorized batched scoreboarding path, which produces reports identical
+    to the scalar reference.
+    """
+    registry = {
         "bitfusion": BitFusionAccelerator,
         "ant": AntAccelerator,
         "olive": OliveAccelerator,
@@ -37,3 +43,12 @@ def baseline_registry():
         "bitvert": BitVertAccelerator,
         "dense-int8": DenseInt8Accelerator,
     }
+    if include_transarray:
+        from ..transarray.accelerator import TransitiveArrayAccelerator
+
+        def _transarray(**kwargs):
+            kwargs.setdefault("fast", fast)
+            return TransitiveArrayAccelerator(**kwargs)
+
+        registry["transarray"] = _transarray
+    return registry

@@ -114,12 +114,12 @@ def binary_weight_matrix(matrix: np.ndarray, bits: int, msb_first: bool = True) 
     """
     planes = bit_slice(matrix, bits)
     n_rows, n_cols = planes.shape
-    order = range(bits - 1, -1, -1) if msb_first else range(bits)
-    binary = np.empty((bits * n_rows, n_cols), dtype=np.uint8)
-    for row in range(n_rows):
-        for out_idx, s in enumerate(order):
-            binary[row * bits + out_idx] = planes.planes[s, row]
-    return binary
+    # planes.planes is (bits, N, K) with LSB first; interleave planes per row
+    # by flipping to the requested plane order and folding (N, bits) into rows.
+    ordered = planes.planes[::-1] if msb_first else planes.planes
+    return np.ascontiguousarray(
+        ordered.transpose(1, 0, 2).reshape(bits * n_rows, n_cols)
+    )
 
 
 def reconstruct_from_binary(binary: np.ndarray, bits: int, msb_first: bool = True) -> np.ndarray:
@@ -130,13 +130,10 @@ def reconstruct_from_binary(binary: np.ndarray, bits: int, msb_first: bool = Tru
             f"binary matrix of shape {binary.shape} is not a stack of {bits}-bit rows"
         )
     weights = bit_plane_weights(bits)
-    order = list(range(bits - 1, -1, -1)) if msb_first else list(range(bits))
+    ordered_weights = weights[::-1] if msb_first else weights
     n_rows = binary.shape[0] // bits
-    result = np.zeros((n_rows, binary.shape[1]), dtype=np.int64)
-    for row in range(n_rows):
-        for out_idx, s in enumerate(order):
-            result[row] += weights[s] * binary[row * bits + out_idx]
-    return result
+    stacked = binary.reshape(n_rows, bits, binary.shape[1])
+    return (ordered_weights[None, :, None] * stacked).sum(axis=1)
 
 
 def sliced_gemm(weight: np.ndarray, activation: np.ndarray, bits: int) -> np.ndarray:

@@ -9,7 +9,11 @@ classification of Sec. 5.2 (:mod:`repro.core.classification`).
 
 from .metrics import OpCounts, op_counts_from_result, op_counts_from_static_outcome
 from .classification import NodeType, classify_nodes, classification_percentages
-from .transitive_gemm import TransitiveGemmEngine, transitive_gemm
+from .transitive_gemm import (
+    ScoreboardCacheInfo,
+    TransitiveGemmEngine,
+    transitive_gemm,
+)
 
 __all__ = [
     "OpCounts",
@@ -18,6 +22,7 @@ __all__ = [
     "NodeType",
     "classify_nodes",
     "classification_percentages",
+    "ScoreboardCacheInfo",
     "TransitiveGemmEngine",
     "transitive_gemm",
 ]

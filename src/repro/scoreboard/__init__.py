@@ -10,6 +10,14 @@ are regenerated per sub-tile by a dedicated hardware unit.
 """
 
 from .algorithm import NodeState, ScoreboardResult, run_scoreboard
+from .batched import (
+    BatchedScoreboard,
+    batched_total_op_counts,
+    results_from_batch,
+    run_scoreboard_batch,
+    run_scoreboards_batched,
+    scoreboard_from_counts,
+)
 from .info import ScoreboardInfo, SIEntry
 from .entry import (
     EntryLayout,
@@ -27,6 +35,12 @@ __all__ = [
     "NodeState",
     "ScoreboardResult",
     "run_scoreboard",
+    "BatchedScoreboard",
+    "batched_total_op_counts",
+    "results_from_batch",
+    "run_scoreboard_batch",
+    "run_scoreboards_batched",
+    "scoreboard_from_counts",
     "ScoreboardInfo",
     "SIEntry",
     "EntryLayout",

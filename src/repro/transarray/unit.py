@@ -72,12 +72,15 @@ class TransArrayUnit:
         self,
         values: Sequence[int],
         static_scoreboard: Optional[StaticScoreboard] = None,
+        result: Optional[ScoreboardResult] = None,
     ) -> SubTileReport:
         """Profile one TransRow population (no data movement, statistics only).
 
         With ``static_scoreboard`` the shared SI is applied (SI misses and all)
         and the scoreboard stage costs nothing at run time; otherwise the
-        dynamic scoreboard is modelled.
+        dynamic scoreboard is modelled.  A caller that already scoreboarded
+        ``values`` (e.g. through the batched fast path) may pass the
+        ``result`` to skip the redundant dynamic run; the report is identical.
         """
         lanes = self.config.lanes
         if static_scoreboard is not None:
@@ -91,10 +94,11 @@ class TransArrayUnit:
             ppe_cycles = math.ceil(ppe_steps / lanes) if ppe_steps else 0
             ape_cycles = math.ceil(ape_steps / lanes) if ape_steps else 0
         else:
-            outcome = self.scoreboard.process(values)
-            counts = op_counts_from_result(outcome.result)
-            scoreboard_cycles = outcome.cycles
-            ppe_cycles, ape_cycles = self._stage_cycles(outcome.result)
+            if result is None:
+                result = self.scoreboard.process(values).result
+            counts = op_counts_from_result(result)
+            scoreboard_cycles = self.scoreboard.cycles(len(values))
+            ppe_cycles, ape_cycles = self._stage_cycles(result)
         buffer_bytes = self._buffer_traffic(counts)
         return SubTileReport(
             op_counts=counts,

@@ -1,0 +1,119 @@
+"""Equivalence tests: batched array scoreboard vs the scalar reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import OpCounts, op_counts_from_result
+from repro.errors import ScoreboardError
+from repro.scoreboard import (
+    run_scoreboard,
+    run_scoreboard_batch,
+    run_scoreboards_batched,
+)
+
+
+def _random_bags(rng, width, num_bags, max_rows=60):
+    return [
+        rng.integers(0, 1 << width, size=int(rng.integers(0, max_rows))).tolist()
+        for _ in range(num_bags)
+    ]
+
+
+def _assert_results_equal(fast, scalar):
+    assert fast.width == scalar.width
+    assert fast.max_distance == scalar.max_distance
+    assert fast.num_lanes == scalar.num_lanes
+    assert fast.counts == scalar.counts
+    assert fast.nodes == scalar.nodes
+    assert fast.outliers == scalar.outliers
+    assert fast.forest.node_prefix == scalar.forest.node_prefix
+    assert fast.forest.node_lane == scalar.forest.node_lane
+
+
+class TestExactEquivalence:
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.sampled_from([1, 2, 4, 8]),
+        st.sampled_from([1, 2, 4, 8]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_batched_results_match_scalar(self, seed, width, max_distance):
+        rng = np.random.default_rng(seed)
+        bags = _random_bags(rng, width, num_bags=8)
+        fast_results = run_scoreboards_batched(bags, width=width, max_distance=max_distance)
+        for bag, fast in zip(bags, fast_results):
+            scalar = run_scoreboard(bag, width=width, max_distance=max_distance)
+            _assert_results_equal(fast, scalar)
+
+    def test_custom_lane_count_matches_scalar(self):
+        rng = np.random.default_rng(11)
+        bags = _random_bags(rng, 8, num_bags=4)
+        fast_results = run_scoreboards_batched(bags, width=8, num_lanes=3)
+        for bag, fast in zip(bags, fast_results):
+            _assert_results_equal(fast, run_scoreboard(bag, width=8, num_lanes=3))
+
+    def test_rectangular_array_input_matches_ragged(self):
+        rng = np.random.default_rng(5)
+        values = rng.integers(0, 256, size=(6, 40))
+        from_array = run_scoreboards_batched(values, width=8)
+        from_lists = run_scoreboards_batched([row.tolist() for row in values], width=8)
+        for a, b in zip(from_array, from_lists):
+            _assert_results_equal(a, b)
+
+
+class TestOpCountTallies:
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.sampled_from([2, 4, 8]),
+        st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_tallies_match_scalar_merge(self, seed, width, max_distance):
+        rng = np.random.default_rng(seed)
+        bags = _random_bags(rng, width, num_bags=6)
+        batch = run_scoreboard_batch(bags, width=width, max_distance=max_distance)
+        merged_fast = OpCounts(width=width, **batch.total_op_count_fields())
+        merged_scalar = None
+        for bag in bags:
+            counts = op_counts_from_result(
+                run_scoreboard(bag, width=width, max_distance=max_distance)
+            )
+            merged_scalar = (
+                counts if merged_scalar is None else merged_scalar.merge(counts)
+            )
+        assert merged_fast == merged_scalar
+
+    def test_per_chunk_fields_match_scalar(self):
+        rng = np.random.default_rng(3)
+        bags = _random_bags(rng, 8, num_bags=5)
+        batch = run_scoreboard_batch(bags, width=8)
+        fields = batch.op_count_fields()
+        for i, bag in enumerate(bags):
+            scalar = op_counts_from_result(run_scoreboard(bag, width=8))
+            fast = OpCounts(
+                width=8, **{key: int(arr[i]) for key, arr in fields.items()}
+            )
+            assert fast == scalar
+
+    def test_empty_batch(self):
+        batch = run_scoreboard_batch([], width=8)
+        assert batch.num_chunks == 0
+        assert all(v == 0 for v in batch.total_op_count_fields().values())
+
+
+class TestValidation:
+    def test_out_of_range_value_rejected(self):
+        with pytest.raises(ScoreboardError):
+            run_scoreboard_batch([[16]], width=4)
+        with pytest.raises(ScoreboardError):
+            run_scoreboard_batch(np.array([[3, -1]]), width=4)
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ScoreboardError):
+            run_scoreboard_batch([[1]], width=0)
+
+    def test_invalid_max_distance_rejected(self):
+        with pytest.raises(ScoreboardError):
+            run_scoreboard_batch([[1]], width=4, max_distance=0)
