@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Serving-runtime benchmark on a LLaMA-7B FC layer (BENCH_serving.json).
+
+Compiles the ``q_proj`` layer of the LLaMA-7B Transformer block (4096x4096,
+INT4 weights) into a :class:`~repro.serving.ModelPlan`, then measures:
+
+* **batched serving**: 64 concurrent single-column requests through the
+  thread-pool server and micro-batcher (``max_batch=16``) — throughput and
+  p50/p95/p99 latency under concurrent load;
+* **sequential baseline**: the repo's pre-serving API, one ``engine.multiply``
+  call per request against the warm static-scoreboard LRU cache.
+
+The gate asserts batched serving throughput >= 2x the sequential loop (the
+measured margin is typically much larger) with every output bit-identical to
+``weight @ activation``.  Run as a script or through pytest; both write
+``BENCH_serving.json`` at the repository root.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+import sys
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.serving import Server, compile_workload  # noqa: E402
+from repro.workloads import llama_fc_gemms  # noqa: E402
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+MODEL = "llama1-7b"
+LAYER = "q_proj"
+WEIGHT_BITS = 4
+NUM_REQUESTS = 64
+MAX_BATCH = 16
+NUM_WORKERS = 2
+SEQUENTIAL_SAMPLE = 8
+
+
+def _compile_plan():
+    workload = llama_fc_gemms(MODEL, weight_bits=WEIGHT_BITS)
+    start = time.perf_counter()
+    plan = compile_workload(workload, layer_names=[LAYER], seed=42)
+    return plan, time.perf_counter() - start
+
+
+def bench_serving(plan):
+    """64 concurrent single-column requests through the micro-batcher."""
+    layer = plan.layer(LAYER)
+    rng = np.random.default_rng(7)
+    activations = [
+        rng.integers(-128, 128, size=(layer.shape.k, 1), dtype=np.int64)
+        for _ in range(NUM_REQUESTS)
+    ]
+    with Server(plan, num_workers=NUM_WORKERS, max_batch=MAX_BATCH,
+                max_pending=NUM_REQUESTS) as server:
+        requests = [server.submit(LAYER, act) for act in activations]
+        outputs = [request.result(timeout=600.0) for request in requests]
+    for activation, output in zip(activations, outputs):
+        assert np.array_equal(output, layer.weight @ activation)
+    report = server.report()
+
+    # Sequential baseline on the same plan: one single-GEMM call per request
+    # (warm LRU cache; the per-call weight fingerprint is the honest cost of
+    # serving without plan-level precompute).
+    engine = plan.engine
+    engine.multiply(layer.weight, activations[0], WEIGHT_BITS)  # warm the cache
+    start = time.perf_counter()
+    sequential_outputs = [
+        engine.multiply(layer.weight, activation, WEIGHT_BITS).output
+        for activation in activations[:SEQUENTIAL_SAMPLE]
+    ]
+    sequential_rps = SEQUENTIAL_SAMPLE / (time.perf_counter() - start)
+    # Verify outside the timed region so the baseline rate is not biased by
+    # the numpy reference matmuls.
+    for activation, output in zip(activations, sequential_outputs):
+        assert np.array_equal(output, layer.weight @ activation)
+    return report, sequential_rps
+
+
+def run(write: bool = True) -> dict:
+    """Shared harness: the LLaMA acceptance test in ``tests/serving`` and the
+    CI gate below both run this, so the scenario cannot drift between them."""
+    plan, compile_s = _compile_plan()
+    report, sequential_rps = bench_serving(plan)
+    results = {
+        "benchmark": "bench_serving",
+        "bit_identical": True,  # bench_serving asserted every output
+        "model": MODEL,
+        "layer": LAYER,
+        "weight_bits": WEIGHT_BITS,
+        "num_requests": NUM_REQUESTS,
+        "max_batch": MAX_BATCH,
+        "num_workers": NUM_WORKERS,
+        "compile_s": compile_s,
+        "sequential_rps": sequential_rps,
+        "speedup_vs_sequential": report.throughput_rps / sequential_rps,
+        "serving": report.as_dict(),
+    }
+    if write:
+        OUTPUT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def test_batched_serving_2x_sequential():
+    """Tier-2 gate: batched serving >= 2x the sequential single-GEMM loop."""
+    results = run(write=True)
+    assert results["speedup_vs_sequential"] >= 2.0
+    assert results["serving"]["num_requests"] == NUM_REQUESTS
+    assert results["serving"]["latency_p99_s"] > 0.0
+
+
+def main() -> None:
+    results = run(write=True)
+    serving = results["serving"]
+    print(f"{MODEL} {LAYER} (INT{WEIGHT_BITS}): compile {results['compile_s']:.2f}s")
+    print(f"batched   : {serving['throughput_rps']:.1f} req/s, "
+          f"p50 {serving['latency_p50_s'] * 1e3:.0f} ms, "
+          f"p99 {serving['latency_p99_s'] * 1e3:.0f} ms, "
+          f"mean batch {serving['mean_batch_size']:.1f}")
+    print(f"sequential: {results['sequential_rps']:.1f} req/s "
+          f"-> {results['speedup_vs_sequential']:.1f}x from batched serving")
+    print(f"wrote {OUTPUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,10 @@ remaining) and the op-count speedups over dense and bit-sparsity execution.
 Usage::
 
     python examples/quickstart.py
+
+Docs index: ``docs/performance.md`` covers the vectorized fast path and the
+static-scoreboard cache; ``docs/serving.md`` covers the request-batching
+serving runtime (see ``examples/serving_demo.py``).
 """
 
 import numpy as np

@@ -31,6 +31,8 @@ from .config import (
     default_baseline_configs,
 )
 from .core import (
+    BatchedGemmReport,
+    GemmPlan,
     NodeType,
     OpCounts,
     TransitiveGemmEngine,
@@ -40,11 +42,13 @@ from .core import (
     transitive_gemm,
 )
 from .errors import (
+    BackpressureError,
     BitSliceError,
     ConfigurationError,
     QuantizationError,
     ReproError,
     ScoreboardError,
+    ServingError,
     SimulationError,
     WorkloadError,
 )
@@ -67,6 +71,8 @@ __all__ = [
     "DRAMConfig",
     "TransArrayConfig",
     "default_baseline_configs",
+    "BatchedGemmReport",
+    "GemmPlan",
     "NodeType",
     "OpCounts",
     "TransitiveGemmEngine",
@@ -74,11 +80,13 @@ __all__ = [
     "classify_nodes",
     "op_counts_from_result",
     "transitive_gemm",
+    "BackpressureError",
     "BitSliceError",
     "ConfigurationError",
     "QuantizationError",
     "ReproError",
     "ScoreboardError",
+    "ServingError",
     "SimulationError",
     "WorkloadError",
     "BatchedScoreboard",

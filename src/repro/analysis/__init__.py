@@ -17,7 +17,7 @@ from .comparison import (
     resnet_comparison,
 )
 from .scoreboard_study import scoreboard_density_study
-from .reporting import format_table
+from .reporting import format_serving_report, format_table
 
 __all__ = [
     "DensityPoint",
@@ -33,5 +33,6 @@ __all__ = [
     "geomean",
     "resnet_comparison",
     "scoreboard_density_study",
+    "format_serving_report",
     "format_table",
 ]

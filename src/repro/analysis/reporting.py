@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Sequence, Tuple
 
 from ..errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..serving.report import ServingReport
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
@@ -40,3 +43,49 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
     lines = [_line(headers), separator]
     lines.extend(_line(row) for row in rendered)
     return "\n".join(lines)
+
+
+def format_serving_report(report: "ServingReport") -> str:
+    """Render a :class:`~repro.serving.report.ServingReport` as a table.
+
+    The serving examples and benchmarks print this; latencies are shown in
+    milliseconds, throughput in requests (and activation columns) per second.
+    """
+    rows: List[Tuple[str, object]] = [
+        ("workload", report.workload),
+        ("requests served", report.num_requests),
+        ("requests failed", report.num_failed),
+        ("requests rejected (backpressure)", report.num_rejected),
+        ("activation columns", report.total_columns),
+        ("wall time", f"{report.wall_s:.3f} s"),
+        ("throughput", f"{report.throughput_rps:.1f} req/s"),
+        ("column throughput", f"{report.throughput_cols_per_s:.1f} cols/s"),
+        ("latency mean", f"{report.latency_mean_s * 1e3:.1f} ms"),
+        ("latency p50", f"{report.latency_p50_s * 1e3:.1f} ms"),
+        ("latency p95", f"{report.latency_p95_s * 1e3:.1f} ms"),
+        ("latency p99", f"{report.latency_p99_s * 1e3:.1f} ms"),
+        ("queue delay mean", f"{report.queue_delay_mean_s * 1e3:.1f} ms"),
+        ("micro-batches", report.num_batches),
+        ("mean batch size", f"{report.mean_batch_size:.2f}"),
+        ("max batch size", report.max_batch_size),
+        ("plan cache hit rate", f"{report.plan_hit_rate:.1%} "
+                                f"({report.plan_hits} hits / {report.plan_misses} compiles)"),
+    ]
+    if report.scoreboard_cache is not None:
+        cache = report.scoreboard_cache
+        rows.append(
+            ("engine LRU cache", f"{cache.hits} hits / {cache.misses} misses "
+                                 f"({cache.entries} entries)")
+        )
+    for layer, count in sorted(report.requests_per_layer.items()):
+        rows.append((f"requests[{layer}]", count))
+    if report.op_counts is not None:
+        rows.append(("transitive adds", report.op_counts.transitive_ops))
+        rows.append(("density", f"{report.op_counts.density:.1%}"))
+    if report.attributed_cycles is not None:
+        rows.append(("attributed cycles", report.attributed_cycles))
+    if report.attributed_energy is not None:
+        rows.append(
+            ("attributed energy", f"{report.attributed_energy.total_nj / 1e3:.1f} uJ")
+        )
+    return format_table(["metric", "value"], rows)

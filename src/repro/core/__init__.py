@@ -10,6 +10,8 @@ classification of Sec. 5.2 (:mod:`repro.core.classification`).
 from .metrics import OpCounts, op_counts_from_result, op_counts_from_static_outcome
 from .classification import NodeType, classify_nodes, classification_percentages
 from .transitive_gemm import (
+    BatchedGemmReport,
+    GemmPlan,
     ScoreboardCacheInfo,
     TransitiveGemmEngine,
     transitive_gemm,
@@ -22,6 +24,8 @@ __all__ = [
     "NodeType",
     "classify_nodes",
     "classification_percentages",
+    "BatchedGemmReport",
+    "GemmPlan",
     "ScoreboardCacheInfo",
     "TransitiveGemmEngine",
     "transitive_gemm",

@@ -29,9 +29,10 @@ Two execution paths produce identical outputs and identical
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -77,6 +78,69 @@ class ScoreboardCacheInfo:
     entries: int
     max_entries: int
 
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True, eq=False)
+class GemmPlan:
+    """Precompiled scoreboard state of one weight matrix.
+
+    This is the offline half of the paper's *static scoreboard* serving mode
+    made explicit: the weights are bit-sliced, packed and scoreboarded exactly
+    once, and the resulting packed TransRow values plus merged
+    :class:`~repro.core.metrics.OpCounts` are pinned in this handle.  Online
+    execution against the plan (:meth:`TransitiveGemmEngine.multiply_planned`
+    and :meth:`TransitiveGemmEngine.multiply_many`) skips weight
+    fingerprinting, bit-slicing and scoreboarding entirely and goes straight
+    to the gather/accumulate stages, which is what a serving runtime needs on
+    its per-request hot path.
+    """
+
+    weight: np.ndarray
+    weight_bits: int
+    transrow_bits: int
+    max_distance: int
+    packed: np.ndarray
+    op_counts: OpCounts
+
+    @property
+    def n(self) -> int:
+        """Output rows (weight rows)."""
+        return int(self.weight.shape[0])
+
+    @property
+    def k(self) -> int:
+        """Reduction dimension (weight columns / activation rows)."""
+        return int(self.weight.shape[1])
+
+
+@dataclass(eq=False)
+class BatchedGemmReport:
+    """Result of one micro-batched multi-activation execution.
+
+    ``outputs[i]`` is ``weight @ activations[i]`` for the plan's weight; all
+    activations were folded into a single engine pass, so the scoreboard work
+    (captured by ``op_counts``, which depends only on the weights) was spent
+    once for the whole batch.
+    """
+
+    outputs: List[np.ndarray]
+    op_counts: OpCounts
+
+    @property
+    def batch_size(self) -> int:
+        """Number of coalesced activations."""
+        return len(self.outputs)
+
+    @property
+    def total_columns(self) -> int:
+        """Total activation columns across the batch."""
+        return sum(int(out.shape[1]) for out in self.outputs)
+
 
 class _StaticScoreboardCache:
     """LRU cache of (packed TransRows, merged OpCounts) per weight matrix.
@@ -92,6 +156,9 @@ class _StaticScoreboardCache:
         self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        # The serving runtime shares one engine across worker threads; the
+        # lock keeps lookup/insert/evict transitions atomic.
+        self._lock = threading.Lock()
 
     @staticmethod
     def key(weight: np.ndarray, weight_bits: int, width: int, max_distance: int) -> tuple:
@@ -101,27 +168,30 @@ class _StaticScoreboardCache:
         return (digest, weight.shape, weight.dtype.str, weight_bits, width, max_distance)
 
     def get(self, key: tuple):
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: tuple, entry: tuple) -> None:
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
 
     def info(self) -> ScoreboardCacheInfo:
-        return ScoreboardCacheInfo(
-            hits=self.hits,
-            misses=self.misses,
-            entries=len(self._entries),
-            max_entries=self.max_entries,
-        )
+        with self._lock:
+            return ScoreboardCacheInfo(
+                hits=self.hits,
+                misses=self.misses,
+                entries=len(self._entries),
+                max_entries=self.max_entries,
+            )
 
 
 class TransitiveGemmEngine:
@@ -203,6 +273,114 @@ class TransitiveGemmEngine:
     def scoreboard_cache_info(self) -> ScoreboardCacheInfo:
         """Hit/miss statistics of the static-scoreboard cache."""
         return self._cache.info()
+
+    # ---------------------------------------------------------- plan serving
+    def plan(self, weight: np.ndarray, weight_bits: int) -> GemmPlan:
+        """Precompute the static scoreboard of one weight matrix, offline.
+
+        Bit-slices, packs and scoreboards the weights exactly once and returns
+        a :class:`GemmPlan` handle.  Executions against the handle
+        (:meth:`multiply_planned`, :meth:`multiply_many`) skip the per-call
+        weight fingerprint and all weight-side work; the LRU cache is warmed
+        as a side effect so plain :meth:`multiply` calls with the same weights
+        also hit.
+        """
+        # Pin the compiled weights: a caller-side mutation after plan() must
+        # not desynchronise plan.weight from the packed TransRows.
+        weight = np.array(weight, copy=True)
+        weight.setflags(write=False)
+        if weight.ndim != 2:
+            raise SimulationError("weight must be a 2-D matrix")
+        if weight.shape[1] == 0 or weight.shape[0] == 0:
+            raise SimulationError("cannot plan a weight matrix with a zero dimension")
+        packed, counts, _ = self._packed_transrows_cached(weight, weight_bits)
+        packed.setflags(write=False)  # shared with the LRU cache; never written
+        return GemmPlan(
+            weight=weight,
+            weight_bits=weight_bits,
+            transrow_bits=self.transrow_bits,
+            max_distance=self.max_distance,
+            packed=packed,
+            op_counts=counts,
+        )
+
+    def multiply_planned(
+        self, plan: GemmPlan, activation: np.ndarray
+    ) -> TransitiveGemmReport:
+        """Compute ``plan.weight @ activation`` from the precompiled plan.
+
+        The per-request hot path of the serving runtime: no hashing, no
+        bit-slicing, no scoreboarding — only the batched gather/accumulate
+        stages run.  Bit-identical to :meth:`multiply` on the same operands.
+        """
+        self._check_plan(plan)
+        activation = np.asarray(activation, dtype=np.int64)
+        if activation.ndim != 2:
+            raise SimulationError("activation must be a 2-D matrix")
+        if activation.shape[0] != plan.k:
+            raise SimulationError(
+                f"shape mismatch: plan weight {plan.weight.shape} x "
+                f"activation {activation.shape}"
+            )
+        width = self.transrow_bits
+        num_chunks = plan.packed.shape[0]
+        n_out_cols = activation.shape[1]
+        act_full = np.zeros((num_chunks * width, n_out_cols), dtype=np.int64)
+        act_full[: plan.k] = activation
+        act = act_full.reshape(num_chunks, width, n_out_cols)
+        output = self._batched_node_results_and_accumulate(
+            plan.packed, act, bit_plane_weights(plan.weight_bits), plan.n, n_out_cols
+        )
+        return TransitiveGemmReport(output=output, op_counts=plan.op_counts)
+
+    def multiply_many(
+        self, plan: GemmPlan, activations: Sequence[np.ndarray]
+    ) -> BatchedGemmReport:
+        """Serve a micro-batch of activations in one engine pass.
+
+        The activations are concatenated along their column axis, executed as
+        a single planned GEMM and split back, so each output equals
+        ``plan.weight @ activations[i]`` bit-exactly while the weight-side
+        work is spent once for the whole batch.
+        """
+        self._check_plan(plan)
+        if not activations:
+            raise SimulationError("multiply_many needs at least one activation")
+        arrays: List[np.ndarray] = []
+        for index, activation in enumerate(activations):
+            activation = np.asarray(activation, dtype=np.int64)
+            if activation.ndim != 2:
+                raise SimulationError(
+                    f"activation {index} must be a 2-D matrix, got {activation.ndim}-D"
+                )
+            if activation.shape[0] != plan.k:
+                raise SimulationError(
+                    f"activation {index} has {activation.shape[0]} rows, "
+                    f"plan expects {plan.k}"
+                )
+            arrays.append(activation)
+        stacked = arrays[0] if len(arrays) == 1 else np.concatenate(arrays, axis=1)
+        report = self.multiply_planned(plan, stacked)
+        outputs: List[np.ndarray] = []
+        offset = 0
+        for activation in arrays:
+            cols = activation.shape[1]
+            # Copy each slice: handing out views would alias every request's
+            # output to one shared batch array (and pin its full allocation).
+            outputs.append(report.output[:, offset: offset + cols].copy())
+            offset += cols
+        return BatchedGemmReport(outputs=outputs, op_counts=report.op_counts)
+
+    def _check_plan(self, plan: GemmPlan) -> None:
+        if (
+            plan.transrow_bits != self.transrow_bits
+            or plan.max_distance != self.max_distance
+        ):
+            raise SimulationError(
+                f"plan was compiled for T={plan.transrow_bits}, "
+                f"max_distance={plan.max_distance}; this engine runs "
+                f"T={self.transrow_bits}, max_distance={self.max_distance}"
+            )
 
     # ------------------------------------------------------------ fast path
     def _multiply_fast(

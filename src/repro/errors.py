@@ -34,3 +34,11 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised when a workload descriptor is malformed or unknown."""
+
+
+class ServingError(ReproError):
+    """Raised when the serving runtime is misused or a request fails."""
+
+
+class BackpressureError(ServingError):
+    """Raised by admission control when the bounded request queue is full."""

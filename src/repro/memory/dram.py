@@ -10,7 +10,8 @@ Fig. 11.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Optional
 
 from ..config import DRAMConfig
 from ..errors import SimulationError
@@ -41,8 +42,10 @@ class DRAMTrafficLog:
 class DRAMModel:
     """Bandwidth/energy model of the off-chip memory system."""
 
-    def __init__(self, config: DRAMConfig = DRAMConfig()) -> None:
-        self.config = config
+    def __init__(self, config: Optional[DRAMConfig] = None) -> None:
+        # A ``DRAMConfig()`` default argument would be evaluated once at import
+        # and shared by every default-constructed model; build one per instance.
+        self.config = config if config is not None else DRAMConfig()
         self.traffic = DRAMTrafficLog()
 
     def record(self, weight_bytes: int = 0, input_bytes: int = 0, output_bytes: int = 0) -> None:
@@ -64,7 +67,7 @@ class DRAMModel:
         """Cycles to move all logged traffic."""
         return self.transfer_cycles(self.traffic.total_bytes)
 
-    def dynamic_energy_nj(self, num_bytes: int = None) -> float:
+    def dynamic_energy_nj(self, num_bytes: Optional[int] = None) -> float:
         """Dynamic DRAM energy in nanojoules for the logged (or given) traffic."""
         if num_bytes is None:
             num_bytes = self.traffic.total_bytes

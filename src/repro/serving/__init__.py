@@ -1,0 +1,37 @@
+"""Online inference serving over compiled transitive-GEMM model plans.
+
+This package is the request-driven execution mode the paper's *static
+scoreboard* was designed for: compile once, serve forever.
+
+* :mod:`repro.serving.plan` — offline compilation of any
+  :class:`~repro.workloads.gemm.GemmWorkload` into a :class:`ModelPlan`
+  (per-layer weights bit-sliced and scoreboarded once);
+* :mod:`repro.serving.request` / :mod:`repro.serving.queue` — future-style
+  requests and the bounded admission-controlled queue;
+* :mod:`repro.serving.batcher` — the dynamic micro-batcher coalescing
+  same-layer activations into single engine passes;
+* :mod:`repro.serving.server` — the thread-pool :class:`Server`;
+* :mod:`repro.serving.report` — throughput / latency-percentile / energy
+  accounting rendered by :func:`repro.analysis.format_serving_report`.
+"""
+
+from .plan import LayerPlan, ModelPlan, compile_workload
+from .request import Request
+from .queue import RequestQueue
+from .batcher import BatchExecution, MicroBatcher
+from .report import ServingReport, build_report, percentile
+from .server import Server
+
+__all__ = [
+    "LayerPlan",
+    "ModelPlan",
+    "compile_workload",
+    "Request",
+    "RequestQueue",
+    "BatchExecution",
+    "MicroBatcher",
+    "ServingReport",
+    "build_report",
+    "percentile",
+    "Server",
+]

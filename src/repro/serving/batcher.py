@@ -1,0 +1,100 @@
+"""Dynamic micro-batcher: one engine pass per coalesced same-layer batch.
+
+The batcher is the bridge between queued requests and the compiled plan: it
+folds up to ``max_batch`` activations bound for one layer into a single
+:meth:`~repro.core.transitive_gemm.TransitiveGemmEngine.multiply_many` call,
+splits the outputs back per request, stamps timestamps, and attributes
+accelerator cycles/energy to each request when the plan was compiled with a
+cycle model.  Outputs are bit-identical to serving each request alone — the
+engine concatenates activation columns, and the weights (and therefore the
+scoreboard pass) are shared by construction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.metrics import OpCounts
+from ..errors import ServingError
+from .plan import ModelPlan
+from .request import Request
+
+
+@dataclass(frozen=True)
+class BatchExecution:
+    """Bookkeeping record of one executed micro-batch."""
+
+    layer: str
+    batch_size: int
+    total_columns: int
+    started_at: float
+    finished_at: float
+    op_counts: Optional[OpCounts]
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-clock duration of the engine pass."""
+        return self.finished_at - self.started_at
+
+
+class MicroBatcher:
+    """Executes coalesced same-layer request batches against a model plan."""
+
+    def __init__(self, plan: ModelPlan) -> None:
+        self.plan = plan
+
+    def execute(self, requests: List[Request]) -> BatchExecution:
+        """Run one micro-batch, fulfilling or failing every request in it.
+
+        Worker-side errors are captured on the requests (each waiting client
+        re-raises from :meth:`~repro.serving.request.Request.result`) so a
+        malformed request never takes the server down.
+        """
+        if not requests:
+            raise ServingError("cannot execute an empty micro-batch")
+        layer = requests[0].layer
+        if any(request.layer != layer for request in requests):
+            raise ServingError(
+                "micro-batch mixes layers: "
+                f"{sorted({request.layer for request in requests})}"
+            )
+        started_at = time.perf_counter()
+        for request in requests:
+            request.mark_running(started_at, len(requests))
+        try:
+            report = self.plan.run_batch(
+                layer, [request.activation for request in requests]
+            )
+            # Attribute before fulfilling anything: a failure here must fail
+            # the whole batch consistently, never leave it half-delivered.
+            attributions = [
+                self.plan.attribute(layer, request.columns) for request in requests
+            ]
+        except Exception as error:  # noqa: BLE001 - forwarded to the clients
+            finished_at = time.perf_counter()
+            for request in requests:
+                request.fail(error, finished_at)
+            return BatchExecution(
+                layer=layer,
+                batch_size=len(requests),
+                total_columns=sum(request.columns for request in requests),
+                started_at=started_at,
+                finished_at=finished_at,
+                op_counts=None,
+            )
+        finished_at = time.perf_counter()
+        for request, output, attribution in zip(
+            requests, report.outputs, attributions
+        ):
+            request.attribution = attribution
+            request.fulfil(output, finished_at)
+        return BatchExecution(
+            layer=layer,
+            batch_size=len(requests),
+            total_columns=report.total_columns,
+            started_at=started_at,
+            finished_at=finished_at,
+            op_counts=report.op_counts,
+        )

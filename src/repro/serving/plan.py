@@ -1,0 +1,219 @@
+"""Offline model compilation: workload → :class:`ModelPlan`.
+
+The paper's *static scoreboard* exists precisely for serving: the weights are
+fixed, so the SI can be computed once offline and reused for every activation
+that streams by.  :func:`compile_workload` makes that mode concrete for whole
+models — every layer of a :class:`~repro.workloads.gemm.GemmWorkload` gets its
+weights materialised, bit-sliced and scoreboarded exactly once through the
+engine's plan machinery, and the resulting :class:`ModelPlan` is the immutable
+artifact the online server executes requests against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.metrics import OpCounts
+from ..core.transitive_gemm import BatchedGemmReport, GemmPlan, TransitiveGemmEngine
+from ..errors import ServingError
+from ..transarray.accelerator import (
+    GemmProfile,
+    RequestAttribution,
+    TransitiveArrayAccelerator,
+)
+from ..workloads.gemm import GemmShape, GemmWorkload
+
+#: Weight provider signature: given a layer's GEMM shape, return its (N, K)
+#: integer weights (same contract as the accelerator's provider).
+WeightProvider = Callable[[GemmShape], np.ndarray]
+
+
+@dataclass(frozen=True)
+class LayerPlan:
+    """One compiled layer: shape, engine plan and optional cycle profile."""
+
+    shape: GemmShape
+    gemm_plan: GemmPlan
+    profile: Optional[GemmProfile] = None
+
+    @property
+    def name(self) -> str:
+        """Layer name (unique within the model plan)."""
+        return self.shape.name
+
+    @property
+    def weight(self) -> np.ndarray:
+        """The compiled (read-only) weight matrix, pinned by the engine plan."""
+        return self.gemm_plan.weight
+
+    @property
+    def op_counts(self) -> OpCounts:
+        """Scoreboard operation counts of one pass over the layer weights."""
+        return self.gemm_plan.op_counts
+
+
+class ModelPlan:
+    """A compiled model: per-layer static scoreboards, ready to serve.
+
+    Produced by :func:`compile_workload` and immutable afterwards, so any
+    number of servers (and direct :meth:`run` callers) can share one plan;
+    serving-run statistics such as the plan-cache hit rate are tracked by the
+    :class:`~repro.serving.server.Server` that executes against it.
+    """
+
+    def __init__(
+        self,
+        workload: GemmWorkload,
+        engine: TransitiveGemmEngine,
+        layers: Sequence[LayerPlan],
+        accelerator: Optional[TransitiveArrayAccelerator] = None,
+    ) -> None:
+        self.workload = workload
+        self.engine = engine
+        self.accelerator = accelerator
+        self._layers: Dict[str, LayerPlan] = {}
+        for layer in layers:
+            if layer.name in self._layers:
+                raise ServingError(
+                    f"duplicate layer name '{layer.name}' in workload "
+                    f"'{workload.name}'; serving requires unique layer names"
+                )
+            self._layers[layer.name] = layer
+
+    # ------------------------------------------------------------- lookups
+    @property
+    def name(self) -> str:
+        """Name of the compiled workload."""
+        return self.workload.name
+
+    def layer_names(self) -> List[str]:
+        """Compiled layer names in compilation order."""
+        return list(self._layers)
+
+    def layer(self, name: str) -> LayerPlan:
+        """Look up one compiled layer by name."""
+        try:
+            return self._layers[name]
+        except KeyError as exc:
+            raise ServingError(
+                f"model plan '{self.name}' has no layer '{name}'; "
+                f"available: {list(self._layers)}"
+            ) from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._layers
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    @property
+    def op_counts(self) -> OpCounts:
+        """Merged scoreboard counts of one pass over every compiled layer."""
+        merged: Optional[OpCounts] = None
+        for layer in self._layers.values():
+            counts = layer.op_counts
+            merged = counts if merged is None else merged.merge(counts)
+        assert merged is not None  # a ModelPlan always has >= 1 layer
+        return merged
+
+    # ----------------------------------------------------------- execution
+    def run(self, layer_name: str, activation: np.ndarray) -> np.ndarray:
+        """Execute one activation against a compiled layer.
+
+        Bit-identical to ``layer.weight @ activation``; the per-call work is
+        only the gather/accumulate stages — the static scoreboard was paid at
+        compile time.
+        """
+        layer = self.layer(layer_name)
+        report = self.engine.multiply_planned(layer.gemm_plan, activation)
+        return report.output
+
+    def run_batch(
+        self, layer_name: str, activations: Sequence[np.ndarray]
+    ) -> BatchedGemmReport:
+        """Execute a micro-batch of activations against one compiled layer."""
+        layer = self.layer(layer_name)
+        return self.engine.multiply_many(layer.gemm_plan, activations)
+
+    def attribute(self, layer_name: str, columns: int) -> Optional[RequestAttribution]:
+        """Accelerator cycles/energy for a request, if profiles were compiled."""
+        layer = self.layer(layer_name)
+        if layer.profile is None or self.accelerator is None:
+            return None
+        return self.accelerator.attribute_request(layer.profile, columns)
+
+def compile_workload(
+    workload: GemmWorkload,
+    engine: Optional[TransitiveGemmEngine] = None,
+    weight_provider: Optional[WeightProvider] = None,
+    layer_names: Optional[Sequence[str]] = None,
+    accelerator: Optional[TransitiveArrayAccelerator] = None,
+    seed: int = 2025,
+) -> ModelPlan:
+    """Compile a workload into a servable :class:`ModelPlan`, offline.
+
+    Parameters
+    ----------
+    workload:
+        Any :class:`~repro.workloads.gemm.GemmWorkload` (LLaMA FC block,
+        attention layer, ResNet-18, synthetic) — compilation walks its
+        :meth:`~repro.workloads.gemm.GemmWorkload.layers`.
+    engine:
+        Functional engine to compile with; a fast-path engine sized so every
+        layer's scoreboard also fits the LRU cache is built by default.
+    weight_provider:
+        Optional callable returning real ``(N, K)`` weights per layer;
+        synthetic quantized weights are sampled otherwise (seeded, so a plan
+        is reproducible).
+    layer_names:
+        Optional subset of layers to compile (e.g. just ``["q_proj"]`` of a
+        Transformer block); the full workload is compiled by default.
+    accelerator:
+        Optional :class:`~repro.transarray.TransitiveArrayAccelerator`; when
+        given, every compiled layer is also profiled through the cycle/energy
+        model so the server can attribute per-request costs.
+    seed:
+        RNG seed for synthetic weight sampling.
+    """
+    shapes = list(workload.layers())
+    if layer_names is not None:
+        wanted = list(layer_names)
+        if not wanted:
+            raise ServingError("layer_names must name at least one layer")
+        by_name = {shape.name: shape for shape in shapes}
+        missing = [name for name in wanted if name not in by_name]
+        if missing:
+            raise ServingError(
+                f"workload '{workload.name}' has no layer(s) {missing}; "
+                f"available: {list(by_name)}"
+            )
+        shapes = [by_name[name] for name in wanted]
+    if engine is None:
+        engine = TransitiveGemmEngine(
+            transrow_bits=8,
+            fast=True,
+            scoreboard_cache_entries=max(8, len(shapes)),
+        )
+    rng = np.random.default_rng(seed)
+    layers: List[LayerPlan] = []
+    for shape in shapes:
+        if weight_provider is not None:
+            weight = np.asarray(weight_provider(shape))
+            if weight.shape != (shape.n, shape.k):
+                raise ServingError(
+                    f"weight provider returned shape {weight.shape} for layer "
+                    f"'{shape.name}', expected {(shape.n, shape.k)}"
+                )
+        else:
+            weight = workload.sample_weight(shape, rng)
+        gemm_plan = engine.plan(weight, shape.weight_bits)
+        profile = accelerator.simulate_gemm(shape) if accelerator is not None else None
+        layers.append(
+            LayerPlan(shape=shape, gemm_plan=gemm_plan, profile=profile)
+        )
+    return ModelPlan(
+        workload=workload, engine=engine, layers=layers, accelerator=accelerator
+    )

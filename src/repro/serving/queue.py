@@ -1,0 +1,97 @@
+"""Bounded FIFO request queue with per-layer coalescing pops.
+
+Admission control is the queue's job: :meth:`RequestQueue.put` never blocks —
+when the queue is full it raises :class:`~repro.errors.BackpressureError` so
+the client sheds load instead of piling unbounded latency onto every request
+behind it.  Workers drain the queue through :meth:`RequestQueue.next_batch`,
+which pops the head request plus up to ``max_batch - 1`` later requests bound
+for the *same layer* (FIFO order among the rest is preserved), handing the
+micro-batcher a coalescible batch.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, List, Optional
+
+from ..errors import BackpressureError, ServingError
+from .request import Request
+
+
+class RequestQueue:
+    """Thread-safe bounded queue of pending :class:`Request` objects."""
+
+    def __init__(self, max_pending: int) -> None:
+        if max_pending < 1:
+            raise ServingError(f"max_pending must be positive, got {max_pending}")
+        self.max_pending = max_pending
+        self._pending: Deque[Request] = deque()
+        self._condition = threading.Condition()
+        self._closed = False
+        self.rejected = 0
+
+    # -------------------------------------------------------------- client
+    def put(self, request: Request) -> None:
+        """Admit a request, or raise :class:`BackpressureError` if full."""
+        with self._condition:
+            if self._closed:
+                raise ServingError("request queue is closed")
+            if len(self._pending) >= self.max_pending:
+                self.rejected += 1
+                raise BackpressureError(
+                    f"request queue is full ({self.max_pending} pending); "
+                    f"retry after the backlog drains"
+                )
+            self._pending.append(request)
+            self._condition.notify()
+
+    # -------------------------------------------------------------- worker
+    def next_batch(
+        self, max_batch: int, timeout: Optional[float] = None
+    ) -> Optional[List[Request]]:
+        """Pop the next same-layer micro-batch, waiting up to ``timeout``.
+
+        Returns ``None`` when the wait times out or the queue is closed and
+        drained.  The batch is the head request plus up to ``max_batch - 1``
+        younger requests for the same layer; requests for other layers keep
+        their relative order.
+        """
+        if max_batch < 1:
+            raise ServingError(f"max_batch must be positive, got {max_batch}")
+        with self._condition:
+            while not self._pending:
+                if self._closed:
+                    return None
+                if not self._condition.wait(timeout):
+                    return None
+            head = self._pending.popleft()
+            batch = [head]
+            if max_batch > 1 and self._pending:
+                rest: Deque[Request] = deque()
+                while self._pending and len(batch) < max_batch:
+                    candidate = self._pending.popleft()
+                    if candidate.layer == head.layer:
+                        batch.append(candidate)
+                    else:
+                        rest.append(candidate)
+                rest.extend(self._pending)
+                self._pending = rest
+            return batch
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Refuse new requests and wake every waiting worker."""
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        """Whether the queue has been closed to new requests."""
+        with self._condition:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._condition:
+            return len(self._pending)

@@ -1,0 +1,172 @@
+"""Serving-side statistics: latency percentiles, throughput, energy.
+
+The report is assembled by the server after (or during) a serving run from
+the completed requests and executed batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.metrics import OpCounts
+from ..core.transitive_gemm import ScoreboardCacheInfo
+from ..energy.breakdown import EnergyBreakdown
+from ..errors import ServingError
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """``q``-th percentile of a non-empty sample (``numpy.percentile`` with
+    library-typed validation errors)."""
+    if not values:
+        raise ServingError("cannot take a percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ServingError(f"percentile must be in [0, 100], got {q}")
+    return float(np.percentile(values, q))
+
+
+@dataclass
+class ServingReport:
+    """Aggregate outcome of one serving run against a compiled plan.
+
+    Latencies are wall-clock submit-to-finish seconds; ``throughput_rps`` is
+    completed requests over the span from the first submission to the last
+    completion.  ``attributed_cycles`` / ``attributed_energy`` are only
+    populated when the plan was compiled with an accelerator cycle model.
+    """
+
+    workload: str
+    num_requests: int
+    num_failed: int
+    num_rejected: int
+    total_columns: int
+    wall_s: float
+    throughput_rps: float
+    throughput_cols_per_s: float
+    latency_mean_s: float
+    latency_p50_s: float
+    latency_p95_s: float
+    latency_p99_s: float
+    queue_delay_mean_s: float
+    num_batches: int
+    mean_batch_size: float
+    max_batch_size: int
+    plan_hits: int
+    plan_misses: int
+    requests_per_layer: Dict[str, int] = field(default_factory=dict)
+    op_counts: Optional[OpCounts] = None
+    scoreboard_cache: Optional[ScoreboardCacheInfo] = None
+    attributed_cycles: Optional[int] = None
+    attributed_energy: Optional[EnergyBreakdown] = None
+
+    @property
+    def plan_hit_rate(self) -> float:
+        """Engine passes served from precompiled scoreboards during the run
+        vs. the offline compilations of the layers the run touched."""
+        total = self.plan_hits + self.plan_misses
+        return self.plan_hits / total if total else 0.0
+
+    def render(self) -> str:
+        """Aligned plain-text table of the report (examples print this)."""
+        from ..analysis.reporting import format_serving_report
+
+        return format_serving_report(self)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable summary (written by ``bench_serving``)."""
+        summary: Dict[str, object] = {
+            "workload": self.workload,
+            "num_requests": self.num_requests,
+            "num_failed": self.num_failed,
+            "num_rejected": self.num_rejected,
+            "total_columns": self.total_columns,
+            "wall_s": self.wall_s,
+            "throughput_rps": self.throughput_rps,
+            "throughput_cols_per_s": self.throughput_cols_per_s,
+            "latency_mean_s": self.latency_mean_s,
+            "latency_p50_s": self.latency_p50_s,
+            "latency_p95_s": self.latency_p95_s,
+            "latency_p99_s": self.latency_p99_s,
+            "queue_delay_mean_s": self.queue_delay_mean_s,
+            "num_batches": self.num_batches,
+            "mean_batch_size": self.mean_batch_size,
+            "max_batch_size": self.max_batch_size,
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+            "plan_hit_rate": self.plan_hit_rate,
+            "requests_per_layer": dict(self.requests_per_layer),
+        }
+        if self.op_counts is not None:
+            summary["transitive_ops"] = self.op_counts.transitive_ops
+            summary["density"] = self.op_counts.density
+        if self.scoreboard_cache is not None:
+            summary["engine_cache"] = {
+                "hits": self.scoreboard_cache.hits,
+                "misses": self.scoreboard_cache.misses,
+                "entries": self.scoreboard_cache.entries,
+                "hit_rate": self.scoreboard_cache.hit_rate,
+            }
+        if self.attributed_cycles is not None:
+            summary["attributed_cycles"] = self.attributed_cycles
+        if self.attributed_energy is not None:
+            summary["attributed_energy_nj"] = self.attributed_energy.total_nj
+        return summary
+
+
+def build_report(
+    workload: str,
+    latencies_s: List[float],
+    queue_delays_s: List[float],
+    wall_s: float,
+    total_columns: int,
+    num_failed: int,
+    num_rejected: int,
+    batch_sizes: List[int],
+    requests_per_layer: Dict[str, int],
+    plan_hits: int,
+    plan_misses: int,
+    op_counts: Optional[OpCounts],
+    scoreboard_cache: Optional[ScoreboardCacheInfo],
+    attributed_cycles: Optional[int],
+    attributed_energy: Optional[EnergyBreakdown],
+) -> ServingReport:
+    """Assemble a :class:`ServingReport` from raw serving-run samples.
+
+    ``latencies_s`` may be empty (a run whose every request failed still
+    needs its failure statistics reported); the latency and throughput
+    figures are zero in that case.
+    """
+    wall = max(wall_s, 1e-12)
+    return ServingReport(
+        workload=workload,
+        num_requests=len(latencies_s),
+        num_failed=num_failed,
+        num_rejected=num_rejected,
+        total_columns=total_columns,
+        wall_s=wall_s,
+        throughput_rps=len(latencies_s) / wall,
+        throughput_cols_per_s=total_columns / wall,
+        latency_mean_s=(
+            sum(latencies_s) / len(latencies_s) if latencies_s else 0.0
+        ),
+        latency_p50_s=percentile(latencies_s, 50.0) if latencies_s else 0.0,
+        latency_p95_s=percentile(latencies_s, 95.0) if latencies_s else 0.0,
+        latency_p99_s=percentile(latencies_s, 99.0) if latencies_s else 0.0,
+        queue_delay_mean_s=(
+            sum(queue_delays_s) / len(queue_delays_s) if queue_delays_s else 0.0
+        ),
+        num_batches=len(batch_sizes),
+        mean_batch_size=(
+            sum(batch_sizes) / len(batch_sizes) if batch_sizes else 0.0
+        ),
+        max_batch_size=max(batch_sizes) if batch_sizes else 0,
+        plan_hits=plan_hits,
+        plan_misses=plan_misses,
+        requests_per_layer=requests_per_layer,
+        op_counts=op_counts,
+        scoreboard_cache=scoreboard_cache,
+        attributed_cycles=attributed_cycles,
+        attributed_energy=attributed_energy,
+    )

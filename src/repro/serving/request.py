@@ -1,0 +1,109 @@
+"""Request objects exchanged between clients, the queue and the batcher.
+
+A request carries one activation matrix bound for one compiled layer.  The
+submitting thread gets the request back immediately (future-style) and blocks
+on :meth:`Request.result` only when it needs the output; the worker that
+executes the micro-batch fulfils or fails the request and stamps the
+timestamps the latency accounting is built from.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ServingError
+from ..transarray.accelerator import RequestAttribution
+
+#: Request lifecycle states.
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+class Request:
+    """One in-flight activation request against a compiled layer."""
+
+    def __init__(
+        self,
+        request_id: int,
+        layer: str,
+        activation: np.ndarray,
+        submitted_at: float,
+    ) -> None:
+        self.request_id = request_id
+        self.layer = layer
+        self.activation = activation
+        self.submitted_at = submitted_at
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.batch_size: int = 0
+        self.attribution: Optional[RequestAttribution] = None
+        self.state = PENDING
+        self._output: Optional[np.ndarray] = None
+        self._error: Optional[BaseException] = None
+        self._done = threading.Event()
+
+    # ------------------------------------------------------------ client API
+    @property
+    def columns(self) -> int:
+        """Activation columns carried by the request."""
+        return int(self.activation.shape[1])
+
+    def done(self) -> bool:
+        """Whether the request has been fulfilled or failed."""
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> np.ndarray:
+        """Block until the output is available and return it.
+
+        Raises the worker-side error if the request failed, and
+        :class:`~repro.errors.ServingError` if ``timeout`` elapses first.
+        """
+        if not self._done.wait(timeout):
+            raise ServingError(
+                f"request {self.request_id} ('{self.layer}') did not complete "
+                f"within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._output is not None
+        return self._output
+
+    @property
+    def latency_s(self) -> float:
+        """Submit-to-finish wall-clock latency."""
+        if self.finished_at is None:
+            raise ServingError(f"request {self.request_id} has not finished")
+        return self.finished_at - self.submitted_at
+
+    @property
+    def queue_delay_s(self) -> float:
+        """Time spent queued before a worker picked the request up."""
+        if self.started_at is None:
+            raise ServingError(f"request {self.request_id} has not started")
+        return self.started_at - self.submitted_at
+
+    # ------------------------------------------------------------ worker API
+    def mark_running(self, started_at: float, batch_size: int) -> None:
+        """Stamp the execution start and the micro-batch the request rode in."""
+        self.started_at = started_at
+        self.batch_size = batch_size
+        self.state = RUNNING
+
+    def fulfil(self, output: np.ndarray, finished_at: float) -> None:
+        """Deliver the output and wake the waiting client."""
+        self._output = output
+        self.finished_at = finished_at
+        self.state = DONE
+        self._done.set()
+
+    def fail(self, error: BaseException, finished_at: float) -> None:
+        """Record a worker-side failure and wake the waiting client."""
+        self._error = error
+        self.finished_at = finished_at
+        self.state = FAILED
+        self._done.set()

@@ -1,0 +1,286 @@
+"""Thread-pool serving runtime over a compiled :class:`ModelPlan`.
+
+The server owns the bounded :class:`~repro.serving.queue.RequestQueue`, a pool
+of worker threads draining it through the
+:class:`~repro.serving.batcher.MicroBatcher`, and the accounting that becomes
+the :class:`~repro.serving.report.ServingReport`.  The flow is the classic
+online-inference shape: clients :meth:`Server.submit` activations and receive
+future-style :class:`~repro.serving.request.Request` handles; admission
+control rejects work beyond ``max_pending`` with
+:class:`~repro.errors.BackpressureError`; workers coalesce up to ``max_batch``
+same-layer activations into one engine pass over the layer's precompiled
+static scoreboard.
+
+Usage::
+
+    plan = compile_workload(llama_fc_gemms("llama1-7b"), layer_names=["q_proj"])
+    with Server(plan, num_workers=2, max_batch=16) as server:
+        requests = [server.submit("q_proj", act) for act in activations]
+        outputs = [request.result(timeout=60.0) for request in requests]
+    print(server.report().render())
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..energy.breakdown import EnergyBreakdown
+from ..errors import ServingError
+from ..transarray.accelerator import RequestAttribution
+from .batcher import BatchExecution, MicroBatcher
+from .plan import ModelPlan
+from .queue import RequestQueue
+from .report import ServingReport, build_report
+from .request import DONE, Request
+
+#: How long an idle worker waits on the queue before re-checking shutdown.
+_WORKER_POLL_S = 0.02
+
+
+@dataclass(frozen=True)
+class _RequestRecord:
+    """Scalar accounting snapshot of a finished request.
+
+    The server keeps these instead of the :class:`Request` objects so a
+    long-running ("serve forever") process never pins the per-request
+    activation/output arrays in its accounting state.
+    """
+
+    layer: str
+    columns: int
+    state: str
+    submitted_at: float
+    finished_at: float
+    latency_s: float
+    queue_delay_s: float
+    attribution: Optional[RequestAttribution]
+
+
+class Server:
+    """Request-batching inference server over one compiled model plan.
+
+    Parameters
+    ----------
+    plan:
+        The :class:`~repro.serving.plan.ModelPlan` to serve.
+    num_workers:
+        Worker threads draining the queue (each executes whole micro-batches).
+    max_batch:
+        Maximum same-layer activations coalesced into one engine pass.
+    max_pending:
+        Admission-control bound on queued requests; submissions beyond it
+        raise :class:`~repro.errors.BackpressureError`.
+    """
+
+    def __init__(
+        self,
+        plan: ModelPlan,
+        num_workers: int = 2,
+        max_batch: int = 8,
+        max_pending: int = 128,
+    ) -> None:
+        if num_workers < 1:
+            raise ServingError(f"num_workers must be positive, got {num_workers}")
+        if max_batch < 1:
+            raise ServingError(f"max_batch must be positive, got {max_batch}")
+        self.plan = plan
+        self.num_workers = num_workers
+        self.max_batch = max_batch
+        self.queue = RequestQueue(max_pending)
+        self.batcher = MicroBatcher(plan)
+        self._workers: List[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._started = False
+        self._closed = False
+        self._next_id = 0
+        self._records: List[_RequestRecord] = []
+        self._batches: List[BatchExecution] = []
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "Server":
+        """Spin up the worker pool (idempotent until :meth:`close`)."""
+        with self._lock:
+            if self._closed:
+                raise ServingError("server has been closed")
+            if self._started:
+                return self
+            self._started = True
+            # Spawn under the lock so a concurrent close() always sees the
+            # full worker list when it snapshots for joining.
+            for index in range(self.num_workers):
+                worker = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"serving-worker-{index}",
+                    daemon=True,
+                )
+                worker.start()
+                self._workers.append(worker)
+        return self
+
+    def close(self) -> None:
+        """Stop admitting requests, drain the queue and join the workers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._workers)
+        self.queue.close()
+        for worker in workers:
+            worker.join()
+
+    def __enter__(self) -> "Server":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- clients
+    def submit(self, layer: str, activation: np.ndarray) -> Request:
+        """Admit one activation request for a compiled layer.
+
+        Validates the target layer and activation shape up front, then either
+        enqueues the request or raises
+        :class:`~repro.errors.BackpressureError`.  Returns the future-style
+        request handle; call :meth:`Request.result` for the output.
+        """
+        with self._lock:
+            if not self._started:
+                raise ServingError("server is not started; call start() first")
+            if self._closed:
+                raise ServingError("server has been closed")
+            request_id = self._next_id
+            self._next_id += 1
+        layer_plan = self.plan.layer(layer)
+        activation = np.asarray(activation)
+        if activation.ndim != 2:
+            raise ServingError(
+                f"activation for layer '{layer}' must be 2-D, got {activation.ndim}-D"
+            )
+        if activation.shape[0] != layer_plan.shape.k or activation.shape[1] < 1:
+            raise ServingError(
+                f"activation for layer '{layer}' must be ({layer_plan.shape.k}, m>=1), "
+                f"got {activation.shape}"
+            )
+        request = Request(
+            request_id=request_id,
+            layer=layer,
+            activation=np.asarray(activation, dtype=np.int64),
+            submitted_at=time.perf_counter(),
+        )
+        self.queue.put(request)  # may raise BackpressureError
+        return request
+
+    # -------------------------------------------------------------- workers
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self.queue.next_batch(self.max_batch, timeout=_WORKER_POLL_S)
+            if batch is None:
+                if self.queue.closed and len(self.queue) == 0:
+                    return
+                continue
+            try:
+                execution = self.batcher.execute(batch)
+            except Exception as error:  # noqa: BLE001 - keep the worker alive
+                # The batcher guards the engine pass and attribution itself;
+                # anything that still escapes must fail the batch's waiters
+                # rather than silently killing the worker thread.
+                finished_at = time.perf_counter()
+                for request in batch:
+                    if not request.done():
+                        request.fail(error, finished_at)
+                execution = None
+            records = [self._record(request) for request in batch]
+            with self._lock:
+                if execution is not None:
+                    self._batches.append(execution)
+                self._records.extend(records)
+
+    @staticmethod
+    def _record(request: Request) -> _RequestRecord:
+        finished_at = (
+            request.finished_at
+            if request.finished_at is not None
+            else time.perf_counter()
+        )
+        return _RequestRecord(
+            layer=request.layer,
+            columns=request.columns,
+            state=request.state,
+            submitted_at=request.submitted_at,
+            finished_at=finished_at,
+            latency_s=finished_at - request.submitted_at,
+            queue_delay_s=(
+                request.started_at - request.submitted_at
+                if request.started_at is not None
+                else 0.0
+            ),
+            attribution=request.attribution,
+        )
+
+    # ------------------------------------------------------------ reporting
+    def report(self) -> ServingReport:
+        """Build the serving report from every request completed so far."""
+        with self._lock:
+            records = list(self._records)
+            batches = list(self._batches)
+        done = [record for record in records if record.state == DONE]
+        failed = len(records) - len(done)
+        if not records:
+            raise ServingError("no requests have finished; nothing to report")
+
+        requests_per_layer: Dict[str, int] = {}
+        for record in done:
+            requests_per_layer[record.layer] = (
+                requests_per_layer.get(record.layer, 0) + 1
+            )
+
+        op_counts = None
+        for execution in batches:
+            if execution.op_counts is None:
+                continue
+            op_counts = (
+                execution.op_counts
+                if op_counts is None
+                else op_counts.merge(execution.op_counts)
+            )
+
+        attributed_cycles: Optional[int] = None
+        attributed_energy: Optional[EnergyBreakdown] = None
+        attributions = [
+            record.attribution for record in done if record.attribution is not None
+        ]
+        if attributions:
+            attributed_cycles = sum(attribution.cycles for attribution in attributions)
+            attributed_energy = EnergyBreakdown()
+            for attribution in attributions:
+                attributed_energy = attributed_energy.merge(attribution.energy)
+
+        # Per-run plan-cache accounting: every successful batch reused a
+        # precompiled scoreboard (hit); the misses are the offline scoreboard
+        # compilations of the layers this run actually served.
+        successful_batches = [b for b in batches if b.op_counts is not None]
+        return build_report(
+            workload=self.plan.name,
+            latencies_s=[record.latency_s for record in done],
+            queue_delays_s=[record.queue_delay_s for record in done],
+            wall_s=(
+                max(record.finished_at for record in records)
+                - min(record.submitted_at for record in records)
+            ),
+            total_columns=sum(record.columns for record in done),
+            num_failed=failed,
+            num_rejected=self.queue.rejected,
+            batch_sizes=[execution.batch_size for execution in batches],
+            requests_per_layer=requests_per_layer,
+            plan_hits=len(successful_batches),
+            plan_misses=len({b.layer for b in successful_batches}),
+            op_counts=op_counts,
+            scoreboard_cache=self.plan.engine.scoreboard_cache_info(),
+            attributed_cycles=attributed_cycles,
+            attributed_energy=attributed_energy,
+        )

@@ -13,7 +13,7 @@ from .pe import AccumulationPE, PrefixPE
 from .dispatcher import Dispatcher, DispatchRecord
 from .pipeline import PipelineEstimate, pipeline_cycles
 from .unit import SubTileReport, TransArrayUnit
-from .accelerator import TransitiveArrayAccelerator
+from .accelerator import GemmProfile, RequestAttribution, TransitiveArrayAccelerator
 
 __all__ = [
     "SubTile",
@@ -30,5 +30,7 @@ __all__ = [
     "pipeline_cycles",
     "SubTileReport",
     "TransArrayUnit",
+    "GemmProfile",
+    "RequestAttribution",
     "TransitiveArrayAccelerator",
 ]

@@ -47,6 +47,34 @@ class GemmProfile:
     op_counts: OpCounts
 
 
+@dataclass(frozen=True)
+class RequestAttribution:
+    """Accelerator cycles and energy attributed to one serving request.
+
+    A layer's :class:`GemmProfile` prices the full ``(n, k) x (k, m)`` GEMM;
+    a serving request runs the same weights over only ``columns`` activation
+    columns, so it is charged the column-proportional share of the profiled
+    cycles and energy.  The serving report aggregates these into per-request
+    latency and fleet-level energy figures.
+    """
+
+    layer: str
+    columns: int
+    cycles: int
+    energy: EnergyBreakdown
+    clock_hz: float
+
+    @property
+    def latency_s(self) -> float:
+        """Modelled on-accelerator latency of the request."""
+        return self.cycles / self.clock_hz
+
+    @property
+    def energy_nj(self) -> float:
+        """Total energy attributed to the request."""
+        return self.energy.total_nj
+
+
 class TransitiveArrayAccelerator(Accelerator):
     """Cycle/energy model of the six-unit Transitive Array accelerator.
 
@@ -233,6 +261,26 @@ class TransitiveArrayAccelerator(Accelerator):
             dram_cycles=dram_cycles,
             energy=energy,
             op_counts=mean_report.op_counts,
+        )
+
+    def attribute_request(self, profile: GemmProfile, columns: int) -> RequestAttribution:
+        """Attribute cycles/energy of a ``columns``-wide request to one layer.
+
+        The profile's cycles and energy scale with the activation columns
+        actually served (weights, and therefore the scoreboard work, are
+        shared by every request against the layer), so a request is charged
+        ``columns / m`` of the profiled layer cost.
+        """
+        if columns < 1:
+            raise SimulationError("a request must carry at least one activation column")
+        fraction = columns / profile.shape.m
+        cycles = max(1, math.ceil(profile.cycles * fraction))
+        return RequestAttribution(
+            layer=profile.shape.name,
+            columns=columns,
+            cycles=cycles,
+            energy=profile.energy.scale(fraction),
+            clock_hz=self.clock_hz,
         )
 
     # -------------------------------------------------------------- energy

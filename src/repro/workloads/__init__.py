@@ -16,6 +16,7 @@ from .synthetic import (
     quantized_activation_matrix,
     random_binary_matrix,
     random_transrow_values,
+    synthetic_gemm_workload,
 )
 
 __all__ = [
@@ -36,4 +37,5 @@ __all__ = [
     "quantized_activation_matrix",
     "random_binary_matrix",
     "random_transrow_values",
+    "synthetic_gemm_workload",
 ]

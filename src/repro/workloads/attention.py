@@ -9,6 +9,8 @@ attention where the KV heads are fewer than the query heads.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..errors import WorkloadError
 from .gemm import GemmShape, GemmWorkload
 
@@ -18,7 +20,7 @@ def attention_gemms(
     num_heads: int,
     head_dim: int,
     sequence_length: int,
-    num_kv_heads: int = None,
+    num_kv_heads: Optional[int] = None,
     weight_bits: int = 8,
     activation_bits: int = 8,
 ) -> GemmWorkload:

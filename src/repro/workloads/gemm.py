@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -86,6 +86,28 @@ class GemmWorkload:
     def __post_init__(self) -> None:
         if not self.gemms:
             raise WorkloadError(f"workload '{self.name}' has no GEMMs")
+
+    # ------------------------------------------------------- layer iteration
+    def layers(self) -> Tuple[GemmShape, ...]:
+        """The workload's GEMMs as an immutable layer sequence.
+
+        Every workload builder (LLaMA FC/attention, ResNet-18, generic
+        attention, synthetic) produces a :class:`GemmWorkload`, so this is the
+        one uniform way to walk a model's layers — the serving compiler and
+        the simulators iterate through it rather than reaching into
+        ``.gemms``.
+        """
+        return tuple(self.gemms)
+
+    def layer(self, name: str) -> GemmShape:
+        """Look up one layer by name."""
+        for shape in self.gemms:
+            if shape.name == name:
+                return shape
+        raise WorkloadError(
+            f"workload '{self.name}' has no layer '{name}'; "
+            f"available: {[shape.name for shape in self.gemms]}"
+        )
 
     @property
     def total_macs(self) -> int:

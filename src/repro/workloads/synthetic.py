@@ -15,10 +15,37 @@ from typing import Optional
 import numpy as np
 
 from ..errors import WorkloadError
+from .gemm import GemmShape, GemmWorkload
 
 
 def _rng(seed: Optional[int]) -> np.random.Generator:
     return np.random.default_rng(seed)
+
+
+def synthetic_gemm_workload(
+    num_layers: int = 4,
+    n: int = 64,
+    k: int = 64,
+    m: int = 16,
+    weight_bits: int = 8,
+    activation_bits: int = 8,
+    name: str = "synthetic",
+) -> GemmWorkload:
+    """Uniform stack of identically shaped GEMM layers.
+
+    A minimal stand-in model for tests, examples and the serving runtime:
+    ``num_layers`` layers named ``layer0 .. layer{num_layers-1}``, each an
+    ``(n, k) x (k, m)`` GEMM at the given precisions, iterated like every
+    other workload through :meth:`~repro.workloads.gemm.GemmWorkload.layers`.
+    """
+    if num_layers < 1:
+        raise WorkloadError("num_layers must be positive")
+    shapes = [
+        GemmShape(f"layer{index}", n=n, k=k, m=m,
+                  weight_bits=weight_bits, activation_bits=activation_bits)
+        for index in range(num_layers)
+    ]
+    return GemmWorkload(name=name, gemms=shapes)
 
 
 def random_binary_matrix(rows: int, cols: int, density: float = 0.5,

@@ -1,0 +1,97 @@
+"""RequestQueue admission control / coalescing and MicroBatcher semantics."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import BackpressureError, ServingError
+from repro.serving import MicroBatcher, RequestQueue, compile_workload
+from repro.serving.request import DONE, FAILED, Request
+from repro.workloads import synthetic_gemm_workload
+
+
+def _request(request_id, layer, k=6, cols=2):
+    activation = np.arange(k * cols, dtype=np.int64).reshape(k, cols)
+    return Request(request_id, layer, activation, submitted_at=time.perf_counter())
+
+
+class TestRequestQueue:
+    def test_backpressure_at_capacity(self):
+        queue = RequestQueue(max_pending=2)
+        queue.put(_request(0, "a"))
+        queue.put(_request(1, "a"))
+        with pytest.raises(BackpressureError):
+            queue.put(_request(2, "a"))
+        assert queue.rejected == 1
+        assert len(queue) == 2
+
+    def test_next_batch_coalesces_same_layer_and_preserves_fifo(self):
+        queue = RequestQueue(max_pending=16)
+        for request_id, layer in enumerate(["a", "b", "a", "a", "b", "a"]):
+            queue.put(_request(request_id, layer))
+        batch = queue.next_batch(max_batch=3)
+        # head is request 0 ("a"); the next two "a"s coalesce around the "b"s
+        assert [request.request_id for request in batch] == [0, 2, 3]
+        # the skipped "b"s (and the leftover "a") keep their relative order
+        batch = queue.next_batch(max_batch=3)
+        assert [request.request_id for request in batch] == [1, 4]
+        batch = queue.next_batch(max_batch=3)
+        assert [request.request_id for request in batch] == [5]
+
+    def test_next_batch_times_out_and_close_wakes(self):
+        queue = RequestQueue(max_pending=4)
+        start = time.perf_counter()
+        assert queue.next_batch(max_batch=2, timeout=0.01) is None
+        assert time.perf_counter() - start < 1.0
+        queue.close()
+        assert queue.next_batch(max_batch=2, timeout=10.0) is None
+        with pytest.raises(ServingError):
+            queue.put(_request(9, "a"))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ServingError):
+            RequestQueue(max_pending=0)
+        queue = RequestQueue(max_pending=1)
+        with pytest.raises(ServingError):
+            queue.next_batch(max_batch=0)
+
+
+class TestMicroBatcher:
+    def _plan(self):
+        workload = synthetic_gemm_workload(num_layers=2, n=8, k=6, m=4, weight_bits=4)
+        return compile_workload(workload, seed=3)
+
+    def test_batch_outputs_match_per_request_matmul(self):
+        plan = self._plan()
+        batcher = MicroBatcher(plan)
+        requests = [_request(i, "layer0", cols=i + 1) for i in range(3)]
+        execution = batcher.execute(requests)
+        assert execution.batch_size == 3
+        assert execution.total_columns == 6
+        weight = plan.layer("layer0").weight
+        for request in requests:
+            assert request.state == DONE
+            assert request.batch_size == 3
+            assert np.array_equal(request.result(), weight @ request.activation)
+
+    def test_mixed_layer_batch_rejected_and_empty_batch(self):
+        plan = self._plan()
+        batcher = MicroBatcher(plan)
+        with pytest.raises(ServingError):
+            batcher.execute([_request(0, "layer0"), _request(1, "layer1")])
+        with pytest.raises(ServingError):
+            batcher.execute([])
+
+    def test_engine_error_fails_every_request_without_raising(self):
+        plan = self._plan()
+        batcher = MicroBatcher(plan)
+        # wrong activation row count -> the engine pass fails; the error must
+        # land on the requests, not escape the worker
+        bad = [_request(0, "layer0", k=5), _request(1, "layer0", k=5)]
+        execution = batcher.execute(bad)
+        assert execution.op_counts is None
+        for request in bad:
+            assert request.state == FAILED
+            with pytest.raises(Exception):
+                request.result(timeout=0.1)
