@@ -14,8 +14,16 @@ The gate asserts batched serving throughput >= 2x the sequential loop (the
 measured margin is typically much larger) with every output bit-identical to
 ``weight @ activation``.  Run as a script or through pytest; both write
 ``BENCH_serving.json`` at the repository root.
+
+``--faults smoke`` runs the chaos smoke scenario instead: a synthetic
+two-layer plan served under seeded injected engine faults, latency and a
+scripted worker crash.  It writes ``BENCH_serving_faults.json`` and gates
+that **availability** — the fraction of (non-injected) client requests that
+still complete bit-identically via retry or the degraded oracle — stays
+>= 99%.
 """
 
+import argparse
 import json
 import time
 from pathlib import Path
@@ -26,10 +34,21 @@ import sys
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.serving import Server, compile_workload  # noqa: E402
-from repro.workloads import llama_fc_gemms  # noqa: E402
+from repro.serving import (  # noqa: E402
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    Server,
+    compile_workload,
+)
+from repro.workloads import llama_fc_gemms, synthetic_gemm_workload  # noqa: E402
 
 OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+FAULTS_OUTPUT_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_serving_faults.json"
+)
+#: Chaos gate: fraction of client requests that must still succeed.
+AVAILABILITY_GATE = 0.99
 
 MODEL = "llama1-7b"
 LAYER = "q_proj"
@@ -113,7 +132,105 @@ def test_batched_serving_2x_sequential():
     assert results["serving"]["latency_p99_s"] > 0.0
 
 
+def run_chaos_smoke(write: bool = True) -> dict:
+    """Seeded chaos smoke run: serve a synthetic plan under injected faults.
+
+    Availability counts every client request (none are "injected" — faults
+    target the serving infrastructure, not requests) that completes with an
+    output bit-identical to ``weight @ activation``.
+    """
+    num_requests = 128
+    workload = synthetic_gemm_workload(
+        num_layers=2, n=64, k=48, m=4, weight_bits=4
+    )
+    plan = compile_workload(workload, seed=42)
+    faults = FaultInjector(
+        engine_fault_rate=0.3,
+        latency_rate=0.2,
+        latency_s=0.002,
+        plan=FaultPlan(worker_crashes_at=frozenset({3})),
+        seed=2026,
+    )
+    server = Server(
+        plan,
+        num_workers=2,
+        max_batch=8,
+        max_pending=num_requests,
+        retry_policy=RetryPolicy(max_attempts=3, backoff_base_s=0.001),
+        faults=faults,
+        max_worker_restarts=4,
+    )
+    rng = np.random.default_rng(11)
+    succeeded = 0
+    with server:
+        submitted = []
+        for index in range(num_requests):
+            layer = f"layer{index % 2}"
+            activation = rng.integers(-64, 64, size=(48, 2), dtype=np.int64)
+            submitted.append((server.submit(layer, activation), layer, activation))
+        for request, layer, activation in submitted:
+            try:
+                output = request.result(timeout=60.0)
+            except Exception:  # noqa: BLE001 - counted as unavailability
+                continue
+            if np.array_equal(output, plan.layer(layer).weight @ activation):
+                succeeded += 1
+    report = server.report()
+    stats = faults.stats()
+    results = {
+        "benchmark": "bench_serving_faults",
+        "scenario": "smoke",
+        "num_requests": num_requests,
+        "availability": succeeded / num_requests,
+        "availability_gate": AVAILABILITY_GATE,
+        "injected": {
+            "engine_faults": stats.engine_faults,
+            "worker_crashes": stats.worker_crashes,
+            "delays": stats.delays,
+            "delay_total_s": stats.delay_total_s,
+        },
+        "serving": report.as_dict(),
+        "health": server.health().as_dict(),
+    }
+    if write:
+        FAULTS_OUTPUT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def chaos_main() -> None:
+    results = run_chaos_smoke(write=True)
+    injected = results["injected"]
+    serving = results["serving"]
+    print(f"chaos smoke: {results['num_requests']} requests, "
+          f"{injected['engine_faults']} injected engine faults, "
+          f"{injected['worker_crashes']} worker crashes, "
+          f"{injected['delays']} delays")
+    print(f"recovered : {serving['num_retried']} request retries, "
+          f"{serving['num_degraded']} degraded (oracle), "
+          f"{serving['num_worker_restarts']} worker restarts")
+    print(f"availability: {results['availability']:.1%} "
+          f"(gate >= {AVAILABILITY_GATE:.0%})")
+    print(f"wrote {FAULTS_OUTPUT_PATH}")
+    if results["availability"] < AVAILABILITY_GATE:
+        raise SystemExit(
+            f"availability {results['availability']:.3f} is below the "
+            f"{AVAILABILITY_GATE:.2f} gate"
+        )
+
+
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--faults",
+        choices=["smoke"],
+        default=None,
+        help="run the seeded chaos scenario (availability gate) instead of "
+             "the throughput benchmark",
+    )
+    args = parser.parse_args()
+    if args.faults == "smoke":
+        chaos_main()
+        return
     results = run(write=True)
     serving = results["serving"]
     print(f"{MODEL} {LAYER} (INT{WEIGHT_BITS}): compile {results['compile_s']:.2f}s")

@@ -45,11 +45,16 @@ from .errors import (
     BackpressureError,
     BitSliceError,
     ConfigurationError,
+    DeadlineExceededError,
+    InjectedFaultError,
     QuantizationError,
     ReproError,
+    RequestCancelledError,
     ScoreboardError,
     ServingError,
     SimulationError,
+    TransientServingError,
+    WorkerCrashError,
     WorkloadError,
 )
 from .scoreboard import (
@@ -83,11 +88,16 @@ __all__ = [
     "BackpressureError",
     "BitSliceError",
     "ConfigurationError",
+    "DeadlineExceededError",
+    "InjectedFaultError",
     "QuantizationError",
     "ReproError",
+    "RequestCancelledError",
     "ScoreboardError",
     "ServingError",
     "SimulationError",
+    "TransientServingError",
+    "WorkerCrashError",
     "WorkloadError",
     "BatchedScoreboard",
     "DynamicScoreboard",

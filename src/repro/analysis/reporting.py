@@ -56,6 +56,11 @@ def format_serving_report(report: "ServingReport") -> str:
         ("requests served", report.num_requests),
         ("requests failed", report.num_failed),
         ("requests rejected (backpressure)", report.num_rejected),
+        ("requests expired (deadline)", report.num_expired),
+        ("requests cancelled", report.num_cancelled),
+        ("request retries", report.num_retried),
+        ("requests served degraded (oracle)", report.num_degraded),
+        ("worker restarts", report.num_worker_restarts),
         ("activation columns", report.total_columns),
         ("wall time", f"{report.wall_s:.3f} s"),
         ("throughput", f"{report.throughput_rps:.1f} req/s"),

@@ -42,3 +42,33 @@ class ServingError(ReproError):
 
 class BackpressureError(ServingError):
     """Raised by admission control when the bounded request queue is full."""
+
+
+class TransientServingError(ServingError):
+    """A serving failure expected to clear on its own (worth retrying).
+
+    The server's :class:`~repro.serving.policy.RetryPolicy` retries batch
+    execution only on this subtree; every other error goes straight to the
+    degraded fallback (or the client) because re-running the same inputs
+    would fail the same way.
+    """
+
+
+class DeadlineExceededError(ServingError):
+    """Raised when a request's deadline elapses before it was computed."""
+
+
+class RequestCancelledError(ServingError):
+    """Raised from ``Request.result()`` after a client cancelled the request."""
+
+
+class WorkerCrashError(ServingError):
+    """An (injected) failure that escapes a serving worker's loop entirely.
+
+    Raised by the fault injector to kill worker threads; the server's
+    supervisor detects the death and restarts the worker within its budget.
+    """
+
+
+class InjectedFaultError(TransientServingError):
+    """A fault-injection engine failure (transient by construction)."""

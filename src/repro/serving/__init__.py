@@ -10,17 +10,25 @@ scoreboard* was designed for: compile once, serve forever.
   requests and the bounded admission-controlled queue;
 * :mod:`repro.serving.batcher` — the dynamic micro-batcher coalescing
   same-layer activations into single engine passes;
-* :mod:`repro.serving.server` — the thread-pool :class:`Server`;
-* :mod:`repro.serving.report` — throughput / latency-percentile / energy
-  accounting rendered by :func:`repro.analysis.format_serving_report`.
+* :mod:`repro.serving.server` — the supervised thread-pool :class:`Server`
+  (worker restarts, :meth:`Server.health`, drain/abort shutdown);
+* :mod:`repro.serving.policy` — per-request deadlines and the
+  :class:`RetryPolicy` applied around batch execution;
+* :mod:`repro.serving.faults` — the :class:`FaultInjector` chaos-testing
+  harness (injected engine faults, worker crashes, artificial latency);
+* :mod:`repro.serving.report` — throughput / latency-percentile / energy /
+  fault-tolerance accounting rendered by
+  :func:`repro.analysis.format_serving_report`.
 """
 
 from .plan import LayerPlan, ModelPlan, compile_workload
 from .request import Request
 from .queue import RequestQueue
 from .batcher import BatchExecution, MicroBatcher
+from .policy import DEFAULT_RETRY_POLICY, RetryPolicy
+from .faults import FaultInjector, FaultPlan, FaultStats
 from .report import ServingReport, build_report, percentile
-from .server import Server
+from .server import Server, ServerHealth
 
 __all__ = [
     "LayerPlan",
@@ -30,8 +38,14 @@ __all__ = [
     "RequestQueue",
     "BatchExecution",
     "MicroBatcher",
+    "DEFAULT_RETRY_POLICY",
+    "RetryPolicy",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
     "ServingReport",
     "build_report",
     "percentile",
     "Server",
+    "ServerHealth",
 ]

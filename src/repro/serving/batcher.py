@@ -8,6 +8,16 @@ accelerator cycles/energy to each request when the plan was compiled with a
 cycle model.  Outputs are bit-identical to serving each request alone — the
 engine concatenates activation columns, and the weights (and therefore the
 scoreboard pass) are shared by construction.
+
+Fault tolerance splits execution into two entry points.
+:meth:`MicroBatcher.execute_once` runs one engine pass over *already
+claimed* requests and **raises** on failure without touching their state, so
+the server can wrap it in its retry policy and degraded fallback.
+:meth:`MicroBatcher.execute` keeps the original standalone contract — claim,
+execute, and on error fail every request in place without raising.  The
+optional :class:`~repro.serving.faults.FaultInjector` hook fires immediately
+before the engine pass (inside the retried region, so injected transient
+faults exercise the retry path end to end).
 """
 
 from __future__ import annotations
@@ -18,6 +28,7 @@ from typing import List, Optional
 
 from ..core.metrics import OpCounts
 from ..errors import ServingError
+from .faults import FaultInjector
 from .plan import ModelPlan
 from .request import Request
 
@@ -42,16 +53,11 @@ class BatchExecution:
 class MicroBatcher:
     """Executes coalesced same-layer request batches against a model plan."""
 
-    def __init__(self, plan: ModelPlan) -> None:
+    def __init__(self, plan: ModelPlan, faults: Optional[FaultInjector] = None) -> None:
         self.plan = plan
+        self.faults = faults
 
-    def execute(self, requests: List[Request]) -> BatchExecution:
-        """Run one micro-batch, fulfilling or failing every request in it.
-
-        Worker-side errors are captured on the requests (each waiting client
-        re-raises from :meth:`~repro.serving.request.Request.result`) so a
-        malformed request never takes the server down.
-        """
+    def _check_batch(self, requests: List[Request]) -> str:
         if not requests:
             raise ServingError("cannot execute an empty micro-batch")
         layer = requests[0].layer
@@ -60,30 +66,28 @@ class MicroBatcher:
                 "micro-batch mixes layers: "
                 f"{sorted({request.layer for request in requests})}"
             )
+        return layer
+
+    def execute_once(self, requests: List[Request]) -> BatchExecution:
+        """One engine pass over claimed requests; raises on failure.
+
+        The requests must already be ``running`` (claimed by the caller).  On
+        success every request is fulfilled; on failure the error propagates
+        with the requests untouched, so the caller decides between retrying,
+        degrading per-request, or failing the batch.
+        """
+        layer = self._check_batch(requests)
         started_at = time.perf_counter()
-        for request in requests:
-            request.mark_running(started_at, len(requests))
-        try:
-            report = self.plan.run_batch(
-                layer, [request.activation for request in requests]
-            )
-            # Attribute before fulfilling anything: a failure here must fail
-            # the whole batch consistently, never leave it half-delivered.
-            attributions = [
-                self.plan.attribute(layer, request.columns) for request in requests
-            ]
-        except Exception as error:  # noqa: BLE001 - forwarded to the clients
-            finished_at = time.perf_counter()
-            for request in requests:
-                request.fail(error, finished_at)
-            return BatchExecution(
-                layer=layer,
-                batch_size=len(requests),
-                total_columns=sum(request.columns for request in requests),
-                started_at=started_at,
-                finished_at=finished_at,
-                op_counts=None,
-            )
+        if self.faults is not None:
+            self.faults.on_batch(layer, len(requests))
+        report = self.plan.run_batch(
+            layer, [request.activation for request in requests]
+        )
+        # Attribute before fulfilling anything: a failure here must fail
+        # the whole batch consistently, never leave it half-delivered.
+        attributions = [
+            self.plan.attribute(layer, request.columns) for request in requests
+        ]
         finished_at = time.perf_counter()
         for request, output, attribution in zip(
             requests, report.outputs, attributions
@@ -98,3 +102,43 @@ class MicroBatcher:
             finished_at=finished_at,
             op_counts=report.op_counts,
         )
+
+    def execute(self, requests: List[Request]) -> BatchExecution:
+        """Run one micro-batch, fulfilling or failing every request in it.
+
+        Worker-side errors are captured on the requests (each waiting client
+        re-raises from :meth:`~repro.serving.request.Request.result`) so a
+        malformed request never takes the server down.  This is the
+        standalone entry point; the server goes through
+        :meth:`execute_once` so its retry policy sees the errors.
+        """
+        layer = self._check_batch(requests)
+        started_at = time.perf_counter()
+        claimed = [
+            request
+            for request in requests
+            if request.try_claim(started_at, len(requests))
+        ]
+        if not claimed:
+            return BatchExecution(
+                layer=layer,
+                batch_size=0,
+                total_columns=0,
+                started_at=started_at,
+                finished_at=started_at,
+                op_counts=None,
+            )
+        try:
+            return self.execute_once(claimed)
+        except Exception as error:  # noqa: BLE001 - forwarded to the clients
+            finished_at = time.perf_counter()
+            for request in claimed:
+                request.fail(error, finished_at)
+            return BatchExecution(
+                layer=layer,
+                batch_size=len(claimed),
+                total_columns=sum(request.columns for request in claimed),
+                started_at=started_at,
+                finished_at=finished_at,
+                op_counts=None,
+            )

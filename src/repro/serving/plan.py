@@ -11,6 +11,7 @@ artifact the online server executes requests against.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -74,6 +75,8 @@ class ModelPlan:
         self.workload = workload
         self.engine = engine
         self.accelerator = accelerator
+        self._oracle: Optional[TransitiveGemmEngine] = None
+        self._oracle_lock = threading.Lock()
         self._layers: Dict[str, LayerPlan] = {}
         for layer in layers:
             if layer.name in self._layers:
@@ -144,6 +147,37 @@ class ModelPlan:
         if layer.profile is None or self.accelerator is None:
             return None
         return self.accelerator.attribute_request(layer.profile, columns)
+
+    # ----------------------------------------------------- degraded fallback
+    def run_degraded(self, layer_name: str, activation: np.ndarray) -> np.ndarray:
+        """Execute one activation through the exact scalar oracle.
+
+        The serving fault-tolerance fallback: when a fast-path micro-batch
+        keeps failing, the server re-runs each member alone through the
+        scalar reference implementation (``fast=False``, no shared caches) —
+        the slowest but most independent execution path in the repo, and
+        bit-identical to the fast path by the engine's core invariant.  A
+        batch-poisoning request then fails alone instead of failing its
+        whole micro-batch.
+        """
+        layer = self.layer(layer_name)
+        report = self._scalar_oracle().multiply(
+            layer.weight, activation, layer.gemm_plan.weight_bits
+        )
+        return report.output
+
+    def _scalar_oracle(self) -> TransitiveGemmEngine:
+        """Lazily-built scalar engine matching the plan's compile parameters."""
+        with self._oracle_lock:
+            if self._oracle is None:
+                self._oracle = TransitiveGemmEngine(
+                    transrow_bits=self.engine.transrow_bits,
+                    max_distance=self.engine.max_distance,
+                    num_lanes=self.engine.num_lanes,
+                    fast=False,
+                    scoreboard_cache_entries=0,
+                )
+            return self._oracle
 
 def compile_workload(
     workload: GemmWorkload,

@@ -1,0 +1,112 @@
+"""Deadline arithmetic and the retry policy applied around batch execution.
+
+Two small, purely-functional pieces of the fault-tolerance layer live here so
+they can be unit-tested (and reasoned about) without a running server:
+
+* :func:`deadline_at` / :func:`remaining_s` — per-request deadlines are stored
+  as absolute ``time.perf_counter()`` instants, computed once at submission;
+* :class:`RetryPolicy` — capped exponential backoff with jitter, applied by
+  the server around micro-batch execution, retrying only
+  :class:`~repro.errors.TransientServingError` failures (anything else would
+  deterministically fail again, so it goes straight to the degraded fallback).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from math import isfinite
+from typing import Optional
+
+from ..errors import ServingError, TransientServingError
+
+
+def deadline_at(submitted_at: float, deadline_s: Optional[float]) -> Optional[float]:
+    """Absolute deadline instant for a request submitted at ``submitted_at``.
+
+    ``None`` means no deadline.  A non-positive or non-finite budget is a
+    client error: it could never be met, so reject it at submission instead
+    of charging the queue with work that is born dead.
+    """
+    if deadline_s is None:
+        return None
+    deadline_s = float(deadline_s)
+    if not isfinite(deadline_s) or deadline_s <= 0.0:
+        raise ServingError(
+            f"deadline_s must be a positive finite number of seconds, "
+            f"got {deadline_s!r}"
+        )
+    return submitted_at + deadline_s
+
+
+def remaining_s(deadline: Optional[float], now: float) -> float:
+    """Seconds left until ``deadline`` (``inf`` when there is none)."""
+    if deadline is None:
+        return float("inf")
+    return deadline - now
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with jitter for transient batch failures.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total execution attempts per micro-batch, including the first one.
+    backoff_base_s:
+        Sleep before the first retry; attempt ``n`` waits
+        ``backoff_base_s * backoff_multiplier**(n-1)``, capped.
+    backoff_multiplier:
+        Exponential growth factor between consecutive retries.
+    backoff_max_s:
+        Upper bound on any single backoff sleep.
+    jitter:
+        Fractional jitter ``j``: each sleep is scaled by a uniform factor in
+        ``[1-j, 1+j]`` so synchronized workers do not retry in lockstep.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.002
+    backoff_multiplier: float = 2.0
+    backoff_max_s: float = 0.05
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ServingError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base_s < 0.0 or self.backoff_max_s < 0.0:
+            raise ServingError("backoff durations must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ServingError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ServingError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    @staticmethod
+    def is_transient(error: BaseException) -> bool:
+        """Whether ``error`` is worth retrying at all."""
+        return isinstance(error, TransientServingError)
+
+    def should_retry(self, error: BaseException, attempt: int) -> bool:
+        """Whether to re-execute after ``attempt`` attempts failed with ``error``."""
+        return attempt < self.max_attempts and self.is_transient(error)
+
+    def backoff_s(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Sleep before retry number ``attempt`` (1-based, jittered)."""
+        if attempt < 1:
+            raise ServingError(f"attempt must be >= 1, got {attempt}")
+        delay = min(
+            self.backoff_base_s * self.backoff_multiplier ** (attempt - 1),
+            self.backoff_max_s,
+        )
+        if self.jitter and rng is not None:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(delay, 0.0)
+
+
+#: Policy the server applies when the caller does not pass one.
+DEFAULT_RETRY_POLICY = RetryPolicy()

@@ -7,13 +7,24 @@ behind it.  Workers drain the queue through :meth:`RequestQueue.next_batch`,
 which pops the head request plus up to ``max_batch - 1`` later requests bound
 for the *same layer* (FIFO order among the rest is preserved), handing the
 micro-batcher a coalescible batch.
+
+Deadline enforcement happens at dispatch: while scanning for a batch,
+:meth:`next_batch` *sheds* every already-expired request it encounters —
+failing it with :class:`~repro.errors.DeadlineExceededError` so the waiting
+client unblocks immediately — and silently drops requests the client already
+cancelled.  Shed requests are parked on an internal list the server collects
+through :meth:`take_shed` for accounting; none of them ever reaches the
+engine.  :meth:`close` wakes every blocked :meth:`next_batch` waiter under
+the condition variable, so worker shutdown is notification-driven rather
+than poll-driven.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, Iterable, List, Optional
 
 from ..errors import BackpressureError, ServingError
 from .request import Request
@@ -29,7 +40,10 @@ class RequestQueue:
         self._pending: Deque[Request] = deque()
         self._condition = threading.Condition()
         self._closed = False
+        self._shed: List[Request] = []
         self.rejected = 0
+        self.expired = 0
+        self.cancelled = 0
 
     # -------------------------------------------------------------- client
     def put(self, request: Request) -> None:
@@ -46,6 +60,18 @@ class RequestQueue:
             self._pending.append(request)
             self._condition.notify()
 
+    def requeue(self, requests: Iterable[Request]) -> None:
+        """Return admitted-but-unexecuted requests to the head of the queue.
+
+        Crash recovery: a dead worker's in-flight batch goes back in front so
+        survivors re-serve it in its original order.  The requests were
+        already admitted once, so this bypasses the admission bound and works
+        even on a closed (draining) queue.
+        """
+        with self._condition:
+            self._pending.extendleft(reversed(list(requests)))
+            self._condition.notify_all()
+
     # -------------------------------------------------------------- worker
     def next_batch(
         self, max_batch: int, timeout: Optional[float] = None
@@ -55,22 +81,28 @@ class RequestQueue:
         Returns ``None`` when the wait times out or the queue is closed and
         drained.  The batch is the head request plus up to ``max_batch - 1``
         younger requests for the same layer; requests for other layers keep
-        their relative order.
+        their relative order.  Expired and cancelled requests encountered
+        during the scan are shed (see module docstring) and never returned.
         """
         if max_batch < 1:
             raise ServingError(f"max_batch must be positive, got {max_batch}")
         with self._condition:
-            while not self._pending:
+            while True:
+                head = self._pop_live_head()
+                if head is not None:
+                    break
                 if self._closed:
                     return None
                 if not self._condition.wait(timeout):
                     return None
-            head = self._pending.popleft()
             batch = [head]
             if max_batch > 1 and self._pending:
+                now = time.perf_counter()
                 rest: Deque[Request] = deque()
                 while self._pending and len(batch) < max_batch:
                     candidate = self._pending.popleft()
+                    if self._shed_if_dead(candidate, now):
+                        continue
                     if candidate.layer == head.layer:
                         batch.append(candidate)
                     else:
@@ -79,9 +111,46 @@ class RequestQueue:
                 self._pending = rest
             return batch
 
+    def _pop_live_head(self) -> Optional[Request]:
+        """Pop the first non-shed request, shedding dead ones on the way."""
+        now = time.perf_counter()
+        while self._pending:
+            head = self._pending.popleft()
+            if not self._shed_if_dead(head, now):
+                return head
+        return None
+
+    def _shed_if_dead(self, request: Request, now: float) -> bool:
+        """Shed a cancelled/expired request; holds the condition lock."""
+        if request.done():
+            # Cancelled (or otherwise finished) while queued: the client was
+            # already woken, so only account for it and drop it.
+            self.cancelled += 1
+            self._shed.append(request)
+            return True
+        if request.expired(now) and request.expire(now):
+            self.expired += 1
+            self._shed.append(request)
+            return True
+        return False
+
+    def take_shed(self) -> List[Request]:
+        """Hand the accumulated shed requests to the caller (and forget them)."""
+        with self._condition:
+            shed = self._shed
+            self._shed = []
+            return shed
+
+    def drain_pending(self) -> List[Request]:
+        """Remove and return every queued request (abortive shutdown)."""
+        with self._condition:
+            drained = list(self._pending)
+            self._pending.clear()
+            return drained
+
     # ------------------------------------------------------------ lifecycle
     def close(self) -> None:
-        """Refuse new requests and wake every waiting worker."""
+        """Refuse new requests and wake every waiting worker immediately."""
         with self._condition:
             self._closed = True
             self._condition.notify_all()

@@ -41,6 +41,11 @@ class ServingReport:
     num_requests: int
     num_failed: int
     num_rejected: int
+    num_expired: int
+    num_cancelled: int
+    num_retried: int
+    num_degraded: int
+    num_worker_restarts: int
     total_columns: int
     wall_s: float
     throughput_rps: float
@@ -81,6 +86,11 @@ class ServingReport:
             "num_requests": self.num_requests,
             "num_failed": self.num_failed,
             "num_rejected": self.num_rejected,
+            "num_expired": self.num_expired,
+            "num_cancelled": self.num_cancelled,
+            "num_retried": self.num_retried,
+            "num_degraded": self.num_degraded,
+            "num_worker_restarts": self.num_worker_restarts,
             "total_columns": self.total_columns,
             "wall_s": self.wall_s,
             "throughput_rps": self.throughput_rps,
@@ -131,12 +141,17 @@ def build_report(
     scoreboard_cache: Optional[ScoreboardCacheInfo],
     attributed_cycles: Optional[int],
     attributed_energy: Optional[EnergyBreakdown],
+    num_expired: int = 0,
+    num_cancelled: int = 0,
+    num_retried: int = 0,
+    num_degraded: int = 0,
+    num_worker_restarts: int = 0,
 ) -> ServingReport:
     """Assemble a :class:`ServingReport` from raw serving-run samples.
 
-    ``latencies_s`` may be empty (a run whose every request failed still
-    needs its failure statistics reported); the latency and throughput
-    figures are zero in that case.
+    ``latencies_s`` may be empty (a run whose every request failed — or a
+    monitoring poll before any finished — still needs a well-formed report);
+    the latency and throughput figures are zero in that case.
     """
     wall = max(wall_s, 1e-12)
     return ServingReport(
@@ -144,6 +159,11 @@ def build_report(
         num_requests=len(latencies_s),
         num_failed=num_failed,
         num_rejected=num_rejected,
+        num_expired=num_expired,
+        num_cancelled=num_cancelled,
+        num_retried=num_retried,
+        num_degraded=num_degraded,
+        num_worker_restarts=num_worker_restarts,
         total_columns=total_columns,
         wall_s=wall_s,
         throughput_rps=len(latencies_s) / wall,

@@ -5,16 +5,26 @@ submitting thread gets the request back immediately (future-style) and blocks
 on :meth:`Request.result` only when it needs the output; the worker that
 executes the micro-batch fulfils or fails the request and stamps the
 timestamps the latency accounting is built from.
+
+Requests are also where the fault-tolerance state machine lives.  Alongside
+the original ``pending → running → done|failed`` path there are two terminal
+states that end a request *without computing it*: ``expired`` (its deadline
+elapsed before dispatch — the queue sheds it, or the worker skips it at
+claim time) and ``cancelled`` (the client abandoned it via
+:meth:`Request.cancel`).  All transitions go through one per-request lock, so
+a client cancelling races safely against a worker claiming: exactly one side
+wins, and work claimed by a worker is never also cancelled.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from typing import Optional
 
 import numpy as np
 
-from ..errors import ServingError
+from ..errors import DeadlineExceededError, RequestCancelledError, ServingError
 from ..transarray.accelerator import RequestAttribution
 
 #: Request lifecycle states.
@@ -22,6 +32,8 @@ PENDING = "pending"
 RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
+EXPIRED = "expired"
+CANCELLED = "cancelled"
 
 
 class Request:
@@ -33,19 +45,24 @@ class Request:
         layer: str,
         activation: np.ndarray,
         submitted_at: float,
+        deadline_at: Optional[float] = None,
     ) -> None:
         self.request_id = request_id
         self.layer = layer
         self.activation = activation
         self.submitted_at = submitted_at
+        self.deadline_at = deadline_at
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         self.batch_size: int = 0
+        self.retries: int = 0
+        self.degraded: bool = False
         self.attribution: Optional[RequestAttribution] = None
         self.state = PENDING
         self._output: Optional[np.ndarray] = None
         self._error: Optional[BaseException] = None
         self._done = threading.Event()
+        self._state_lock = threading.Lock()
 
     # ------------------------------------------------------------ client API
     @property
@@ -54,13 +71,43 @@ class Request:
         return int(self.activation.shape[1])
 
     def done(self) -> bool:
-        """Whether the request has been fulfilled or failed."""
+        """Whether the request has reached a terminal state."""
         return self._done.is_set()
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        """Whether the request's deadline has elapsed (``False`` without one)."""
+        if self.deadline_at is None:
+            return False
+        if now is None:
+            now = time.perf_counter()
+        return now >= self.deadline_at
+
+    def cancel(self) -> bool:
+        """Abandon a still-queued request so it is never computed.
+
+        Returns ``True`` if this call won the race and cancelled the request;
+        ``False`` if a worker already claimed it (or it already finished) —
+        in that case the request proceeds normally and :meth:`result` stays
+        authoritative.
+        """
+        with self._state_lock:
+            if self.state != PENDING:
+                return False
+            self.state = CANCELLED
+            self._error = RequestCancelledError(
+                f"request {self.request_id} ('{self.layer}') was cancelled "
+                f"by the client before execution"
+            )
+            self.finished_at = time.perf_counter()
+            self._done.set()
+            return True
 
     def result(self, timeout: Optional[float] = None) -> np.ndarray:
         """Block until the output is available and return it.
 
-        Raises the worker-side error if the request failed, and
+        Raises the worker-side error if the request failed (including
+        :class:`~repro.errors.DeadlineExceededError` /
+        :class:`~repro.errors.RequestCancelledError` for shed requests), and
         :class:`~repro.errors.ServingError` if ``timeout`` elapses first.
         """
         if not self._done.wait(timeout):
@@ -88,22 +135,74 @@ class Request:
         return self.started_at - self.submitted_at
 
     # ------------------------------------------------------------ worker API
-    def mark_running(self, started_at: float, batch_size: int) -> None:
-        """Stamp the execution start and the micro-batch the request rode in."""
-        self.started_at = started_at
-        self.batch_size = batch_size
-        self.state = RUNNING
+    def try_claim(self, started_at: float, batch_size: int) -> bool:
+        """Atomically transition ``pending → running`` for execution.
+
+        Returns ``False`` without claiming when the request was cancelled,
+        already terminal, or its deadline has elapsed — in the expired case
+        the request is failed here (deadline enforcement's last line of
+        defence; the queue normally sheds expired requests earlier).
+        """
+        with self._state_lock:
+            if self.state != PENDING:
+                return False
+            if self.expired(started_at):
+                self._expire_locked(started_at)
+                return False
+            self.started_at = started_at
+            self.batch_size = batch_size
+            self.state = RUNNING
+            return True
+
+    def expire(self, now: float) -> bool:
+        """Fail a pending request whose deadline elapsed before dispatch."""
+        with self._state_lock:
+            if self.state != PENDING:
+                return False
+            self._expire_locked(now)
+            return True
+
+    def _expire_locked(self, now: float) -> None:
+        overrun = now - self.deadline_at if self.deadline_at is not None else 0.0
+        self.state = EXPIRED
+        self._error = DeadlineExceededError(
+            f"request {self.request_id} ('{self.layer}') missed its deadline "
+            f"by {overrun * 1e3:.1f} ms before dispatch"
+        )
+        self.finished_at = now
+        self._done.set()
+
+    def reset_for_retry(self) -> bool:
+        """Return a claimed-but-unexecuted request to ``pending``.
+
+        Used by crash recovery: a worker that died between claiming and
+        completing a batch leaves its requests ``running``; resetting them
+        lets the survivors requeue and re-claim the work.
+        """
+        with self._state_lock:
+            if self._done.is_set():
+                return False
+            self.state = PENDING
+            self.started_at = None
+            self.batch_size = 0
+            return True
 
     def fulfil(self, output: np.ndarray, finished_at: float) -> None:
         """Deliver the output and wake the waiting client."""
-        self._output = output
-        self.finished_at = finished_at
-        self.state = DONE
-        self._done.set()
+        with self._state_lock:
+            if self._done.is_set():
+                return
+            self._output = output
+            self.finished_at = finished_at
+            self.state = DONE
+            self._done.set()
 
     def fail(self, error: BaseException, finished_at: float) -> None:
         """Record a worker-side failure and wake the waiting client."""
-        self._error = error
-        self.finished_at = finished_at
-        self.state = FAILED
-        self._done.set()
+        with self._state_lock:
+            if self._done.is_set():
+                return
+            self._error = error
+            self.finished_at = finished_at
+            self.state = FAILED
+            self._done.set()

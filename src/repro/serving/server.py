@@ -1,7 +1,7 @@
 """Thread-pool serving runtime over a compiled :class:`ModelPlan`.
 
 The server owns the bounded :class:`~repro.serving.queue.RequestQueue`, a pool
-of worker threads draining it through the
+of supervised worker threads draining it through the
 :class:`~repro.serving.batcher.MicroBatcher`, and the accounting that becomes
 the :class:`~repro.serving.report.ServingReport`.  The flow is the classic
 online-inference shape: clients :meth:`Server.submit` activations and receive
@@ -11,20 +11,40 @@ control rejects work beyond ``max_pending`` with
 same-layer activations into one engine pass over the layer's precompiled
 static scoreboard.
 
+On top of that sits the fault-tolerance layer:
+
+* **deadlines & cancellation** — ``submit(..., deadline_s=...)`` attaches a
+  per-request deadline; expired requests are shed before dispatch with
+  :class:`~repro.errors.DeadlineExceededError` and are never computed, and
+  ``Request.cancel()`` abandons queued work;
+* **retries & degraded mode** — transient batch failures are retried under
+  the :class:`~repro.serving.policy.RetryPolicy`; when retries are exhausted
+  (or the failure is not transient) each member of the batch is re-run alone
+  through the exact scalar oracle (``fast=False``), so one poisoned request
+  fails alone instead of failing its micro-batch;
+* **supervision & health** — a supervisor thread restarts workers whose loop
+  an exception escaped (their in-flight batch is requeued first), up to a
+  restart budget, and :meth:`Server.health` exposes live liveness/counter
+  state for monitoring;
+* **fault injection** — an optional
+  :class:`~repro.serving.faults.FaultInjector` hooks worker dispatch and the
+  engine pass, powering the chaos test suite.
+
 Usage::
 
     plan = compile_workload(llama_fc_gemms("llama1-7b"), layer_names=["q_proj"])
     with Server(plan, num_workers=2, max_batch=16) as server:
-        requests = [server.submit("q_proj", act) for act in activations]
+        requests = [server.submit("q_proj", act, deadline_s=5.0) for act in activations]
         outputs = [request.result(timeout=60.0) for request in requests]
     print(server.report().render())
 """
 
 from __future__ import annotations
 
+import random
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -33,13 +53,15 @@ from ..energy.breakdown import EnergyBreakdown
 from ..errors import ServingError
 from ..transarray.accelerator import RequestAttribution
 from .batcher import BatchExecution, MicroBatcher
+from .faults import FaultInjector
 from .plan import ModelPlan
+from .policy import DEFAULT_RETRY_POLICY, RetryPolicy, deadline_at
 from .queue import RequestQueue
 from .report import ServingReport, build_report
-from .request import DONE, Request
+from .request import CANCELLED, DONE, EXPIRED, FAILED, Request
 
-#: How long an idle worker waits on the queue before re-checking shutdown.
-_WORKER_POLL_S = 0.02
+#: Exactly-representable-in-float bound for validating float activations.
+_FLOAT_EXACT_INT_BOUND = float(2**53)
 
 
 @dataclass(frozen=True)
@@ -58,7 +80,74 @@ class _RequestRecord:
     finished_at: float
     latency_s: float
     queue_delay_s: float
+    retries: int
+    degraded: bool
     attribution: Optional[RequestAttribution]
+
+
+@dataclass
+class _WorkerSlot:
+    """One supervised worker position in the pool (thread may be replaced)."""
+
+    index: int
+    thread: Optional[threading.Thread] = None
+    inflight: Optional[List[Request]] = None
+    crash_errors: List[BaseException] = field(default_factory=list)
+    dead: bool = False
+    finished: bool = False
+
+    @property
+    def name(self) -> str:
+        return f"serving-worker-{self.index}"
+
+    @property
+    def alive(self) -> bool:
+        return self.thread is not None and self.thread.is_alive()
+
+
+@dataclass(frozen=True)
+class ServerHealth:
+    """Point-in-time liveness and fault-tolerance counters of a server.
+
+    Safe to poll from monitoring code at any moment of the server lifecycle
+    (including before :meth:`Server.start` and after :meth:`Server.close`).
+    """
+
+    started: bool
+    closed: bool
+    num_workers: int
+    alive_workers: int
+    queue_depth: int
+    queue_capacity: int
+    num_rejected: int
+    num_expired: int
+    num_cancelled: int
+    num_retried: int
+    num_degraded: int
+    num_worker_restarts: int
+
+    @property
+    def healthy(self) -> bool:
+        """Accepting work with at least one live worker."""
+        return self.started and not self.closed and self.alive_workers > 0
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable snapshot for monitoring endpoints."""
+        return {
+            "healthy": self.healthy,
+            "started": self.started,
+            "closed": self.closed,
+            "num_workers": self.num_workers,
+            "alive_workers": self.alive_workers,
+            "queue_depth": self.queue_depth,
+            "queue_capacity": self.queue_capacity,
+            "num_rejected": self.num_rejected,
+            "num_expired": self.num_expired,
+            "num_cancelled": self.num_cancelled,
+            "num_retried": self.num_retried,
+            "num_degraded": self.num_degraded,
+            "num_worker_restarts": self.num_worker_restarts,
+        }
 
 
 class Server:
@@ -75,6 +164,18 @@ class Server:
     max_pending:
         Admission-control bound on queued requests; submissions beyond it
         raise :class:`~repro.errors.BackpressureError`.
+    retry_policy:
+        Backoff policy for transient batch failures; ``None`` disables
+        retries entirely (failures go straight to the degraded fallback).
+    degraded_fallback:
+        Re-run each member of a failed batch alone through the exact scalar
+        oracle before giving up (default on).
+    faults:
+        Optional :class:`~repro.serving.faults.FaultInjector` for chaos
+        testing; the default injects nothing.
+    max_worker_restarts:
+        Supervisor budget of worker restarts over the server's lifetime;
+        defaults to ``2 * num_workers``.
     """
 
     def __init__(
@@ -83,27 +184,50 @@ class Server:
         num_workers: int = 2,
         max_batch: int = 8,
         max_pending: int = 128,
+        retry_policy: Optional[RetryPolicy] = DEFAULT_RETRY_POLICY,
+        degraded_fallback: bool = True,
+        faults: Optional[FaultInjector] = None,
+        max_worker_restarts: Optional[int] = None,
     ) -> None:
         if num_workers < 1:
             raise ServingError(f"num_workers must be positive, got {num_workers}")
         if max_batch < 1:
             raise ServingError(f"max_batch must be positive, got {max_batch}")
+        if max_worker_restarts is not None and max_worker_restarts < 0:
+            raise ServingError(
+                f"max_worker_restarts must be >= 0, got {max_worker_restarts}"
+            )
         self.plan = plan
         self.num_workers = num_workers
         self.max_batch = max_batch
+        self.retry_policy = retry_policy
+        self.degraded_fallback = degraded_fallback
+        self.faults = faults
+        self.max_worker_restarts = (
+            max_worker_restarts if max_worker_restarts is not None else 2 * num_workers
+        )
         self.queue = RequestQueue(max_pending)
-        self.batcher = MicroBatcher(plan)
-        self._workers: List[threading.Thread] = []
+        self.batcher = MicroBatcher(plan, faults=faults)
+        self._slots: List[_WorkerSlot] = []
+        self._supervisor: Optional[threading.Thread] = None
+        self._supervisor_cv = threading.Condition()
+        self._supervisor_stop = False
+        self._restarts_used = 0
         self._lock = threading.Lock()
         self._started = False
         self._closed = False
         self._next_id = 0
         self._records: List[_RequestRecord] = []
         self._batches: List[BatchExecution] = []
+        self._expired = 0
+        self._cancelled = 0
+        self._degraded = 0
+        self._retry_events = 0
+        self._jitter_rng = random.Random(0)
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> "Server":
-        """Spin up the worker pool (idempotent until :meth:`close`)."""
+        """Spin up the worker pool and supervisor (idempotent until close)."""
         with self._lock:
             if self._closed:
                 raise ServingError("server has been closed")
@@ -113,25 +237,80 @@ class Server:
             # Spawn under the lock so a concurrent close() always sees the
             # full worker list when it snapshots for joining.
             for index in range(self.num_workers):
-                worker = threading.Thread(
-                    target=self._worker_loop,
-                    name=f"serving-worker-{index}",
-                    daemon=True,
-                )
-                worker.start()
-                self._workers.append(worker)
+                slot = _WorkerSlot(index=index)
+                self._spawn_worker(slot)
+                self._slots.append(slot)
+            self._supervisor = threading.Thread(
+                target=self._supervise, name="serving-supervisor", daemon=True
+            )
+            self._supervisor.start()
         return self
 
-    def close(self) -> None:
-        """Stop admitting requests, drain the queue and join the workers."""
+    def _spawn_worker(self, slot: _WorkerSlot) -> None:
+        slot.thread = threading.Thread(
+            target=self._worker_entry,
+            args=(slot,),
+            name=slot.name,
+            daemon=True,
+        )
+        slot.thread.start()
+
+    def close(self, drain: bool = True) -> None:
+        """Stop admitting requests and shut the pool down.
+
+        With ``drain=True`` (default) queued requests are still executed
+        before the workers exit.  With ``drain=False`` the server aborts:
+        still-queued requests are failed promptly with
+        :class:`~repro.errors.ServingError` and only the batches already in
+        flight finish.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-            workers = list(self._workers)
         self.queue.close()
-        for worker in workers:
-            worker.join()
+        aborted: List[Request] = []
+        if not drain:
+            now = time.perf_counter()
+            aborted = self.queue.drain_pending()
+            for request in aborted:
+                request.fail(
+                    ServingError(
+                        f"server closed (drain=False) before request "
+                        f"{request.request_id} ('{request.layer}') was executed"
+                    ),
+                    now,
+                )
+        # Join workers, re-snapshotting: the supervisor may still replace a
+        # worker that crashes while draining, so loop until no thread in any
+        # slot is alive.
+        while True:
+            threads = [slot.thread for slot in self._slots if slot.alive]
+            if not threads:
+                break
+            for thread in threads:
+                thread.join()
+        if self._supervisor is not None:
+            with self._supervisor_cv:
+                self._supervisor_stop = True
+                self._supervisor_cv.notify_all()
+            self._supervisor.join()
+        # Account for everything that never reached a worker: requests shed
+        # by the queue plus any leftovers a crashed worker requeued after the
+        # restart budget ran out.
+        leftovers = self.queue.drain_pending()
+        now = time.perf_counter()
+        for request in leftovers:
+            request.fail(
+                ServingError(
+                    f"server closed before request {request.request_id} "
+                    f"('{request.layer}') was executed"
+                ),
+                now,
+            )
+        stragglers = aborted + leftovers + self.queue.take_shed()
+        if stragglers:
+            self._finish([], [self._record(request) for request in stragglers])
 
     def __enter__(self) -> "Server":
         return self.start()
@@ -140,13 +319,22 @@ class Server:
         self.close()
 
     # -------------------------------------------------------------- clients
-    def submit(self, layer: str, activation: np.ndarray) -> Request:
+    def submit(
+        self,
+        layer: str,
+        activation: np.ndarray,
+        deadline_s: Optional[float] = None,
+    ) -> Request:
         """Admit one activation request for a compiled layer.
 
-        Validates the target layer and activation shape up front, then either
-        enqueues the request or raises
-        :class:`~repro.errors.BackpressureError`.  Returns the future-style
-        request handle; call :meth:`Request.result` for the output.
+        Validates the target layer, activation shape and dtype up front, then
+        either enqueues the request or raises
+        :class:`~repro.errors.BackpressureError`.  ``deadline_s`` attaches a
+        relative deadline: if it elapses before a worker dispatches the
+        request, the request fails with
+        :class:`~repro.errors.DeadlineExceededError` without being computed.
+        Returns the future-style request handle; call :meth:`Request.result`
+        for the output and :meth:`Request.cancel` to abandon queued work.
         """
         with self._lock:
             if not self._started:
@@ -166,39 +354,194 @@ class Server:
                 f"activation for layer '{layer}' must be ({layer_plan.shape.k}, m>=1), "
                 f"got {activation.shape}"
             )
+        submitted_at = time.perf_counter()
         request = Request(
             request_id=request_id,
             layer=layer,
-            activation=np.asarray(activation, dtype=np.int64),
-            submitted_at=time.perf_counter(),
+            activation=self._validate_activation_values(layer, activation),
+            submitted_at=submitted_at,
+            deadline_at=deadline_at(submitted_at, deadline_s),
         )
         self.queue.put(request)  # may raise BackpressureError
         return request
 
+    @staticmethod
+    def _validate_activation_values(layer: str, activation: np.ndarray) -> np.ndarray:
+        """Convert an activation to ``int64`` only when that is value-exact.
+
+        ``np.asarray(x, dtype=np.int64)`` silently floors non-integral floats
+        (and wraps NaN/inf), which would serve a wrong-but-plausible output;
+        reject anything that is not an exact integer matrix instead.
+        """
+        if activation.dtype == np.int64:
+            return activation
+        if activation.dtype == bool or np.issubdtype(activation.dtype, np.integer):
+            return activation.astype(np.int64)
+        if np.issubdtype(activation.dtype, np.floating):
+            if not np.all(np.isfinite(activation)):
+                raise ServingError(
+                    f"activation for layer '{layer}' contains non-finite values"
+                )
+            if np.any(activation != np.trunc(activation)) or np.any(
+                np.abs(activation) > _FLOAT_EXACT_INT_BOUND
+            ):
+                raise ServingError(
+                    f"activation for layer '{layer}' has dtype "
+                    f"{activation.dtype} with values that are not exactly "
+                    f"representable as int64; quantize it explicitly instead "
+                    f"of relying on silent truncation"
+                )
+            return activation.astype(np.int64)
+        raise ServingError(
+            f"activation for layer '{layer}' has unsupported dtype "
+            f"{activation.dtype}; expected an integer (or exactly integral "
+            f"float) matrix"
+        )
+
     # -------------------------------------------------------------- workers
-    def _worker_loop(self) -> None:
+    def _worker_entry(self, slot: _WorkerSlot) -> None:
+        try:
+            self._worker_loop(slot)
+        except BaseException as error:  # noqa: BLE001 - supervised crash path
+            self._report_crash(slot, error)
+        else:
+            slot.finished = True
+
+    def _worker_loop(self, slot: _WorkerSlot) -> None:
         while True:
-            batch = self.queue.next_batch(self.max_batch, timeout=_WORKER_POLL_S)
+            # Block on the queue's condition variable: close() notifies, so
+            # shutdown latency is notification-bound, not poll-bound.
+            batch = self.queue.next_batch(self.max_batch, timeout=None)
+            self._collect_shed()
             if batch is None:
-                if self.queue.closed and len(self.queue) == 0:
-                    return
-                continue
+                return
+            slot.inflight = batch
+            if self.faults is not None:
+                self.faults.on_dispatch(slot.name)  # may raise: worker death
+            self._process_batch(batch)
+            slot.inflight = None
+
+    def _process_batch(self, batch: List[Request]) -> None:
+        claim_time = time.perf_counter()
+        claimed = [
+            request for request in batch if request.try_claim(claim_time, len(batch))
+        ]
+        execution = self._execute_resilient(claimed) if claimed else None
+        records = [self._record(request) for request in batch]
+        self._finish([execution] if execution is not None else [], records)
+
+    def _execute_resilient(
+        self, claimed: List[Request]
+    ) -> Optional[BatchExecution]:
+        """Run one claimed batch under the retry policy + degraded fallback."""
+        attempt = 1
+        while True:
             try:
-                execution = self.batcher.execute(batch)
-            except Exception as error:  # noqa: BLE001 - keep the worker alive
-                # The batcher guards the engine pass and attribution itself;
-                # anything that still escapes must fail the batch's waiters
-                # rather than silently killing the worker thread.
-                finished_at = time.perf_counter()
-                for request in batch:
-                    if not request.done():
+                return self.batcher.execute_once(claimed)
+            except Exception as error:  # noqa: BLE001 - resilience boundary
+                if self.retry_policy is not None and self.retry_policy.should_retry(
+                    error, attempt
+                ):
+                    for request in claimed:
+                        request.retries += 1
+                    with self._lock:
+                        self._retry_events += len(claimed)
+                    delay = self.retry_policy.backoff_s(attempt, self._jitter_rng)
+                    attempt += 1
+                    if delay > 0.0:
+                        time.sleep(delay)
+                    continue
+                if self.degraded_fallback:
+                    self._execute_degraded(claimed)
+                else:
+                    finished_at = time.perf_counter()
+                    for request in claimed:
                         request.fail(error, finished_at)
-                execution = None
-            records = [self._record(request) for request in batch]
-            with self._lock:
-                if execution is not None:
-                    self._batches.append(execution)
-                self._records.extend(records)
+                return None
+
+    def _execute_degraded(self, claimed: List[Request]) -> None:
+        """Per-request scalar-oracle fallback for a batch that kept failing.
+
+        Serving each request alone through the exact oracle isolates a
+        batch-poisoning request: its neighbours still complete bit-exactly,
+        and only the poisoned request fails with its own error.
+        """
+        for request in claimed:
+            try:
+                output = self.plan.run_degraded(request.layer, request.activation)
+            except Exception as error:  # noqa: BLE001 - per-request failure
+                request.fail(error, time.perf_counter())
+                continue
+            request.degraded = True
+            request.attribution = self.plan.attribute(request.layer, request.columns)
+            request.fulfil(output, time.perf_counter())
+
+    def _collect_shed(self) -> None:
+        shed = self.queue.take_shed()
+        if shed:
+            self._finish([], [self._record(request) for request in shed])
+
+    def _report_crash(self, slot: _WorkerSlot, error: BaseException) -> None:
+        """Worker-death path: salvage in-flight work, then wake the supervisor."""
+        inflight, slot.inflight = slot.inflight, None
+        if inflight:
+            revived = [
+                request
+                for request in inflight
+                if not request.done() and request.reset_for_retry()
+            ]
+            if revived:
+                self.queue.requeue(revived)
+        with self._supervisor_cv:
+            slot.crash_errors.append(error)
+            self._supervisor_cv.notify_all()
+
+    # ----------------------------------------------------------- supervisor
+    def _supervise(self) -> None:
+        """Restart crashed workers until the budget or the server runs out."""
+        while True:
+            with self._supervisor_cv:
+                crashed = [
+                    slot
+                    for slot in self._slots
+                    if slot.crash_errors and not slot.dead
+                ]
+                if not crashed:
+                    if self._supervisor_stop:
+                        return
+                    self._supervisor_cv.wait()
+                    continue
+                restartable: List[_WorkerSlot] = []
+                for slot in crashed:
+                    slot.crash_errors.clear()
+                    with self._lock:
+                        closed = self._closed
+                    if closed or self._restarts_used >= self.max_worker_restarts:
+                        slot.dead = True
+                        continue
+                    self._restarts_used += 1
+                    restartable.append(slot)
+            for slot in restartable:
+                # The crash was reported from the dying thread itself; let it
+                # finish unwinding before its slot gets a replacement.
+                if slot.thread is not None:
+                    slot.thread.join()
+                self._spawn_worker(slot)
+
+    # ------------------------------------------------------------ accounting
+    def _finish(
+        self, executions: List[BatchExecution], records: List[_RequestRecord]
+    ) -> None:
+        with self._lock:
+            self._batches.extend(executions)
+            self._records.extend(records)
+            for record in records:
+                if record.state == EXPIRED:
+                    self._expired += 1
+                elif record.state == CANCELLED:
+                    self._cancelled += 1
+                if record.degraded:
+                    self._degraded += 1
 
     @staticmethod
     def _record(request: Request) -> _RequestRecord:
@@ -219,19 +562,57 @@ class Server:
                 if request.started_at is not None
                 else 0.0
             ),
+            retries=request.retries,
+            degraded=request.degraded,
             attribution=request.attribution,
+        )
+
+    # ------------------------------------------------------------ monitoring
+    def health(self) -> ServerHealth:
+        """Live liveness and fault-tolerance counters (safe to poll anytime)."""
+        with self._supervisor_cv:
+            alive_workers = sum(1 for slot in self._slots if slot.alive)
+            restarts = self._restarts_used
+        with self._lock:
+            started = self._started
+            closed = self._closed
+            expired = self._expired
+            cancelled = self._cancelled
+            degraded = self._degraded
+            retried = self._retry_events
+        return ServerHealth(
+            started=started,
+            closed=closed,
+            num_workers=self.num_workers,
+            alive_workers=alive_workers,
+            queue_depth=len(self.queue),
+            queue_capacity=self.queue.max_pending,
+            num_rejected=self.queue.rejected,
+            num_expired=expired,
+            num_cancelled=cancelled,
+            num_retried=retried,
+            num_degraded=degraded,
+            num_worker_restarts=restarts,
         )
 
     # ------------------------------------------------------------ reporting
     def report(self) -> ServingReport:
-        """Build the serving report from every request completed so far."""
+        """Build the serving report from every request completed so far.
+
+        Well-formed even before any request finishes (all-zero throughput and
+        percentiles), so health/monitoring code can poll it safely.
+        """
+        with self._supervisor_cv:
+            restarts = self._restarts_used
         with self._lock:
             records = list(self._records)
             batches = list(self._batches)
         done = [record for record in records if record.state == DONE]
-        failed = len(records) - len(done)
-        if not records:
-            raise ServingError("no requests have finished; nothing to report")
+        failed = sum(1 for record in records if record.state == FAILED)
+        expired = sum(1 for record in records if record.state == EXPIRED)
+        cancelled = sum(1 for record in records if record.state == CANCELLED)
+        retried = sum(record.retries for record in records)
+        degraded = sum(1 for record in done if record.degraded)
 
         requests_per_layer: Dict[str, int] = {}
         for record in done:
@@ -271,6 +652,8 @@ class Server:
             wall_s=(
                 max(record.finished_at for record in records)
                 - min(record.submitted_at for record in records)
+                if records
+                else 0.0
             ),
             total_columns=sum(record.columns for record in done),
             num_failed=failed,
@@ -283,4 +666,9 @@ class Server:
             scoreboard_cache=self.plan.engine.scoreboard_cache_info(),
             attributed_cycles=attributed_cycles,
             attributed_energy=attributed_energy,
+            num_expired=expired,
+            num_cancelled=cancelled,
+            num_retried=retried,
+            num_degraded=degraded,
+            num_worker_restarts=restarts,
         )

@@ -1,0 +1,342 @@
+"""Chaos suite: injected engine faults, worker crashes, degraded fallback.
+
+The acceptance contract: with seeded injected faults, every non-injected
+request still completes **bit-identically** to ``weight @ activation`` (via
+retry or the scalar-oracle degraded fallback), killed workers restart within
+the supervision budget, and every fault-tolerance event is accounted in
+``ServingReport`` / ``Server.health()``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    InjectedFaultError,
+    ServingError,
+    SimulationError,
+    TransientServingError,
+    WorkerCrashError,
+)
+from repro.serving import (
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    Server,
+    compile_workload,
+)
+from repro.serving.request import DONE, FAILED, Request
+from repro.workloads import synthetic_gemm_workload
+
+#: Zero-sleep policy so retry-path tests stay fast.
+FAST_RETRIES = RetryPolicy(max_attempts=3, backoff_base_s=0.0, backoff_max_s=0.0)
+
+
+def _plan(**kwargs):
+    workload = synthetic_gemm_workload(num_layers=2, n=12, k=10, m=4, weight_bits=4)
+    return compile_workload(workload, seed=23, **kwargs)
+
+
+def _activations(count, k=10, seed=5):
+    rng = np.random.default_rng(seed)
+    return [
+        rng.integers(-32, 32, size=(k, int(rng.integers(1, 3))), dtype=np.int64)
+        for _ in range(count)
+    ]
+
+
+def _preloaded_server(plan, requests, **kwargs):
+    """Enqueue raw requests before the workers spin up (deterministic batching)."""
+    server = Server(plan, **kwargs)
+    for request in requests:
+        server.queue.put(request)
+    return server.start()
+
+
+def _raw_request(request_id, activation, layer="layer0"):
+    return Request(request_id, layer, activation, submitted_at=time.perf_counter())
+
+
+class TestFaultInjector:
+    def test_plan_and_rate_validation(self):
+        with pytest.raises(ServingError):
+            FaultPlan(engine_faults_at=frozenset({0}))
+        with pytest.raises(ServingError):
+            FaultPlan(latency_at={1: -0.5})
+        with pytest.raises(ServingError):
+            FaultInjector(engine_fault_rate=1.5)
+        with pytest.raises(ServingError):
+            FaultInjector(latency_s=-1.0)
+
+    def test_scripted_hooks_fire_on_exact_indices(self):
+        injector = FaultInjector(
+            plan=FaultPlan(
+                engine_faults_at={2},
+                worker_crashes_at={1},
+                latency_at={1: 0.001},
+            )
+        )
+        with pytest.raises(WorkerCrashError):
+            injector.on_dispatch("w0")
+        injector.on_dispatch("w0")  # index 2: clean
+        injector.on_batch("layer0", 4)  # index 1: latency only
+        with pytest.raises(InjectedFaultError):
+            injector.on_batch("layer0", 4)  # index 2: engine fault
+        stats = injector.stats()
+        assert stats.dispatch_hooks == 2
+        assert stats.batch_hooks == 2
+        assert stats.worker_crashes == 1
+        assert stats.engine_faults == 1
+        assert stats.delays == 1
+
+    def test_injected_fault_is_transient(self):
+        assert isinstance(InjectedFaultError("x"), TransientServingError)
+        assert RetryPolicy().should_retry(InjectedFaultError("x"), attempt=1)
+        assert not RetryPolicy().should_retry(SimulationError("x"), attempt=1)
+
+
+class TestRetryPath:
+    def test_transient_fault_is_retried_to_success(self):
+        plan = _plan()
+        faults = FaultInjector(plan=FaultPlan(engine_faults_at={1}))
+        activations = _activations(4)
+        requests = [_raw_request(i, act) for i, act in enumerate(activations)]
+        server = _preloaded_server(
+            plan,
+            requests,
+            num_workers=1,
+            max_batch=8,
+            retry_policy=FAST_RETRIES,
+            faults=faults,
+        )
+        try:
+            weight = plan.layer("layer0").weight
+            for request, activation in zip(requests, activations):
+                assert np.array_equal(
+                    request.result(timeout=10.0), weight @ activation
+                )
+        finally:
+            server.close()
+        report = server.report()
+        assert report.num_requests == 4
+        assert report.num_failed == 0
+        assert report.num_retried >= 4  # the whole batch retried once
+        assert report.num_degraded == 0
+        assert faults.stats().engine_faults == 1
+
+    def test_exhausted_retries_fall_back_to_degraded_oracle(self):
+        plan = _plan()
+        # More scripted faults than the policy has attempts: the fast path
+        # never succeeds for the first batch, so it must degrade.
+        faults = FaultInjector(plan=FaultPlan(engine_faults_at=frozenset(range(1, 9))))
+        activations = _activations(3)
+        requests = [_raw_request(i, act) for i, act in enumerate(activations)]
+        server = _preloaded_server(
+            plan,
+            requests,
+            num_workers=1,
+            max_batch=8,
+            retry_policy=RetryPolicy(
+                max_attempts=2, backoff_base_s=0.0, backoff_max_s=0.0
+            ),
+            faults=faults,
+        )
+        try:
+            weight = plan.layer("layer0").weight
+            for request, activation in zip(requests, activations):
+                assert np.array_equal(
+                    request.result(timeout=10.0), weight @ activation
+                )
+                assert request.degraded
+        finally:
+            server.close()
+        report = server.report()
+        assert report.num_failed == 0
+        assert report.num_degraded == 3
+        assert report.num_retried >= 3
+
+    def test_degraded_disabled_fails_the_batch(self):
+        plan = _plan()
+        faults = FaultInjector(plan=FaultPlan(engine_faults_at=frozenset(range(1, 9))))
+        requests = [_raw_request(0, np.ones((10, 1), dtype=np.int64))]
+        server = _preloaded_server(
+            plan,
+            requests,
+            num_workers=1,
+            retry_policy=RetryPolicy(
+                max_attempts=2, backoff_base_s=0.0, backoff_max_s=0.0
+            ),
+            degraded_fallback=False,
+            faults=faults,
+        )
+        try:
+            with pytest.raises(InjectedFaultError):
+                requests[0].result(timeout=10.0)
+        finally:
+            server.close()
+        assert server.report().num_failed == 1
+
+
+class TestBatchPoisoning:
+    def test_poisoned_request_fails_alone(self):
+        plan = _plan()
+        good_activations = _activations(3)
+        poisoned = _raw_request(99, np.ones((7, 1), dtype=np.int64))  # wrong K
+        requests = [_raw_request(i, act) for i, act in enumerate(good_activations)]
+        # Poison the middle of the batch so the coalesced engine pass fails.
+        batch = requests[:1] + [poisoned] + requests[1:]
+        server = _preloaded_server(
+            plan, batch, num_workers=1, max_batch=8, retry_policy=FAST_RETRIES
+        )
+        try:
+            weight = plan.layer("layer0").weight
+            for request, activation in zip(requests, good_activations):
+                assert np.array_equal(
+                    request.result(timeout=10.0), weight @ activation
+                )
+            with pytest.raises(SimulationError):
+                poisoned.result(timeout=10.0)
+        finally:
+            server.close()
+        assert poisoned.state == FAILED
+        assert all(request.state == DONE for request in requests)
+        report = server.report()
+        assert report.num_requests == 3
+        assert report.num_failed == 1
+        assert report.num_degraded == 3  # survivors were served by the oracle
+        # the shape error is not transient, so no retry was attempted
+        assert report.num_retried == 0
+
+
+class TestWorkerSupervision:
+    def test_crashed_worker_is_restarted_and_work_recovered(self):
+        plan = _plan()
+        faults = FaultInjector(plan=FaultPlan(worker_crashes_at={1}))
+        activations = _activations(4)
+        requests = [_raw_request(i, act) for i, act in enumerate(activations)]
+        server = _preloaded_server(
+            plan,
+            requests,
+            num_workers=1,
+            max_batch=8,
+            retry_policy=FAST_RETRIES,
+            faults=faults,
+            max_worker_restarts=2,
+        )
+        try:
+            weight = plan.layer("layer0").weight
+            for request, activation in zip(requests, activations):
+                assert np.array_equal(
+                    request.result(timeout=10.0), weight @ activation
+                )
+            health = server.health()
+            assert health.alive_workers == 1
+            assert health.num_worker_restarts == 1
+            assert health.healthy
+        finally:
+            server.close()
+        report = server.report()
+        assert report.num_failed == 0
+        assert report.num_worker_restarts == 1
+        assert faults.stats().worker_crashes == 1
+
+    def test_restart_budget_exhaustion_leaves_survivors_serving(self):
+        plan = _plan()
+        faults = FaultInjector(plan=FaultPlan(worker_crashes_at={1}))
+        activations = _activations(6)
+        requests = [_raw_request(i, act) for i, act in enumerate(activations)]
+        server = _preloaded_server(
+            plan,
+            requests,
+            num_workers=2,
+            max_batch=2,
+            retry_policy=FAST_RETRIES,
+            faults=faults,
+            max_worker_restarts=0,
+        )
+        try:
+            weight = plan.layer("layer0").weight
+            for request, activation in zip(requests, activations):
+                assert np.array_equal(
+                    request.result(timeout=10.0), weight @ activation
+                )
+            deadline = time.perf_counter() + 5.0
+            while (
+                server.health().alive_workers > 1
+                and time.perf_counter() < deadline
+            ):
+                time.sleep(0.005)  # the crashed thread finishes unwinding
+            health = server.health()
+            assert health.alive_workers == 1
+            assert health.num_worker_restarts == 0
+        finally:
+            server.close()
+        assert server.report().num_failed == 0
+
+    def test_health_before_start_and_after_close(self):
+        server = Server(_plan(), num_workers=2)
+        health = server.health()
+        assert not health.started and not health.healthy
+        assert health.alive_workers == 0
+        assert health.queue_capacity == 128
+        server.start()
+        assert server.health().healthy
+        server.close()
+        health = server.health()
+        assert health.closed and not health.healthy
+        assert health.as_dict()["closed"] is True
+
+    def test_empty_report_is_well_formed(self):
+        server = Server(_plan(), num_workers=1)
+        report = server.report()  # nothing served, not even started
+        assert report.num_requests == 0
+        assert report.num_failed == 0
+        assert report.throughput_rps == 0.0
+        assert report.latency_p99_s == 0.0
+        assert report.render()
+        assert report.as_dict()["num_requests"] == 0
+
+
+class TestSeededChaos:
+    def test_seeded_chaos_run_is_bit_identical_and_accounted(self):
+        """ISSUE 6 acceptance: probabilistic seeded faults, 100% availability."""
+        plan = _plan()
+        faults = FaultInjector(
+            engine_fault_rate=0.25,
+            latency_rate=0.2,
+            latency_s=0.001,
+            seed=1234,
+        )
+        server = Server(
+            plan,
+            num_workers=2,
+            max_batch=4,
+            max_pending=64,
+            retry_policy=FAST_RETRIES,
+            faults=faults,
+            max_worker_restarts=4,
+        )
+        rng = np.random.default_rng(99)
+        submitted = []
+        with server:
+            for index in range(48):
+                layer = f"layer{index % 2}"
+                activation = rng.integers(
+                    -32, 32, size=(10, int(rng.integers(1, 3))), dtype=np.int64
+                )
+                submitted.append(
+                    (server.submit(layer, activation), layer, activation)
+                )
+            for request, layer, activation in submitted:
+                expected = plan.layer(layer).weight @ activation
+                assert np.array_equal(request.result(timeout=30.0), expected)
+        report = server.report()
+        assert report.num_requests == 48
+        assert report.num_failed == 0  # availability: every request completed
+        assert report.num_expired == 0 and report.num_cancelled == 0
+        stats = faults.stats()
+        # Every injected engine fault was absorbed by a retry or the oracle.
+        if stats.engine_faults:
+            assert report.num_retried > 0 or report.num_degraded > 0
+        assert report.as_dict()["num_retried"] == report.num_retried

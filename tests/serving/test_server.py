@@ -16,7 +16,8 @@ import numpy as np
 import pytest
 
 from repro.errors import BackpressureError, ServingError
-from repro.serving import Server, compile_workload
+from repro.serving import RequestQueue, Server, compile_workload
+from repro.serving.request import PENDING, Request
 from repro.transarray import TransitiveArrayAccelerator
 from repro.workloads import synthetic_gemm_workload
 
@@ -100,13 +101,13 @@ class TestServerLifecycle:
         plan = self._plan()
         server = Server(plan, num_workers=1, max_batch=1, max_pending=1)
         gate = threading.Event()
-        original = server.batcher.execute
+        original = server.batcher.execute_once
 
-        def gated_execute(batch):
+        def gated_execute_once(batch):
             gate.wait(10.0)
             return original(batch)
 
-        server.batcher.execute = gated_execute
+        server.batcher.execute_once = gated_execute_once
         activation = np.ones((12, 1), dtype=np.int64)
         try:
             server.start()
@@ -114,16 +115,65 @@ class TestServerLifecycle:
             deadline = time.perf_counter() + 5.0
             while len(server.queue) and time.perf_counter() < deadline:
                 time.sleep(0.001)  # wait for the (gated) worker to dequeue it
-            server.submit("layer0", activation)  # fills the bounded queue
+            queued = server.submit("layer0", activation)  # fills the bounded queue
             with pytest.raises(BackpressureError):
                 server.submit("layer0", activation)
             assert server.queue.rejected == 1
+            # the rejected submission never produced a runnable request: the
+            # admitted one is still pending, untouched by the rejection
+            assert queued.state == PENDING
         finally:
             gate.set()
             server.close()
         assert np.array_equal(
             first.result(timeout=10.0), plan.layer("layer0").weight @ activation
         )
+        report = server.report()
+        assert report.num_rejected == 1
+        assert report.as_dict()["num_rejected"] == 1
+        assert report.num_requests == 2  # rejected request never served
+
+    def test_rejected_request_is_never_marked_running(self):
+        queue = RequestQueue(max_pending=1)
+        admitted = Request(
+            0, "layer0", np.ones((12, 1), dtype=np.int64), time.perf_counter()
+        )
+        rejected = Request(
+            1, "layer0", np.ones((12, 1), dtype=np.int64), time.perf_counter()
+        )
+        queue.put(admitted)
+        with pytest.raises(BackpressureError):
+            queue.put(rejected)
+        assert queue.rejected == 1
+        assert rejected.state == PENDING
+        assert rejected.started_at is None
+        assert len(queue) == 1  # the rejection left the queue untouched
+
+    def test_submit_rejects_inexact_activation_dtypes(self):
+        plan = self._plan()
+        with Server(plan, num_workers=1) as server:
+            with pytest.raises(ServingError):
+                server.submit("layer0", np.full((12, 1), 1.5))  # silent floor
+            with pytest.raises(ServingError):
+                server.submit("layer0", np.full((12, 1), np.nan))
+            with pytest.raises(ServingError):
+                server.submit("layer0", np.full((12, 1), np.inf))
+            with pytest.raises(ServingError):
+                server.submit("layer0", np.full((12, 1), 2.0**60))  # not exact
+            with pytest.raises(ServingError):
+                server.submit("layer0", np.ones((12, 1), dtype=np.complex128))
+            # exactly-integral floats and narrower integer dtypes are fine
+            exact_float = server.submit("layer0", np.full((12, 1), 3.0))
+            narrow_int = server.submit("layer0", np.ones((12, 1), dtype=np.int8))
+            weight = plan.layer("layer0").weight
+            assert np.array_equal(
+                exact_float.result(timeout=10.0),
+                weight @ np.full((12, 1), 3, dtype=np.int64),
+            )
+            assert np.array_equal(
+                narrow_int.result(timeout=10.0),
+                weight @ np.ones((12, 1), dtype=np.int64),
+            )
 
 
 class TestLlamaFcAcceptance:
