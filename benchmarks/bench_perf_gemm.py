@@ -1,20 +1,35 @@
 #!/usr/bin/env python
-"""Wall-clock benchmark of the vectorized GEMM fast path (BENCH_perf_gemm.json).
+"""Wall-clock benchmark of the GEMM fast path and the lowered-kernel path.
 
 Two measurements anchor the performance trajectory of the engine:
 
-* ``speedup_1024``: fast path vs the scalar oracle on a 1024x1024x16 GEMM
-  (T=8, 4-bit weights) — the acceptance gate is a >= 10x speedup;
-* ``llama_fc_4096``: the fast path alone on a LLaMA-7B-style 4096x4096x16
-  FC layer (8-bit weights), cold and with a warm static-scoreboard cache
-  (the serving scenario).  The scalar oracle is far too slow to run at this
-  size, which is the point of this PR.
+* ``speedup_1024``: fast path vs the scalar oracle (T=8, 4-bit weights) —
+  the acceptance gate is a >= 10x speedup;
+* ``llama_fc_4096``: the fast path and the compiled plan on a LLaMA-7B-style
+  FC layer (8-bit weights): cold, warm static-scoreboard cache, the
+  interpreted planned path, and the lowered-kernel planned path (the serving
+  hot path since the ``repro.kernels`` subsystem).  The lowered gate asserts
+  the compiled kernel beats the interpreted planned path.
 
-Run as a script (``python benchmarks/bench_perf_gemm.py``) or through pytest
-(``pytest benchmarks/bench_perf_gemm.py``); both write ``BENCH_perf_gemm.json``
-at the repository root.  Every result is checked bit-exact against NumPy.
+Two scales share the harness (``--scale``):
+
+* ``full`` (default) — the paper-sized shapes (1024x1024x16 scalar-vs-fast,
+  4096x4096x16 FC layer); writes ``BENCH_perf_gemm.json``;
+* ``smoke`` — the same scenario at CI size (256x256x16 and 512x512x16);
+  writes ``BENCH_perf_gemm_smoke.json`` in seconds instead of minutes.
+
+``--check`` additionally gates the fresh run: absolute floors (fast >= 10x
+scalar, lowered >= the scale's factor over interpreted) plus a generous
+regression bound against the checked-in baseline JSON of the same scale, and
+exits non-zero on any failure.  Every result is checked bit-exact against
+NumPy at every scale.
+
+Run as a script (``python benchmarks/bench_perf_gemm.py [--scale smoke]
+[--check]``) or through pytest (``pytest benchmarks/bench_perf_gemm.py``,
+full scale).
 """
 
+import argparse
 import json
 import time
 from pathlib import Path
@@ -27,7 +42,32 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core import TransitiveGemmEngine  # noqa: E402
 
-OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf_gemm.json"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Per-scale scenario parameters; both scales run the identical harness.
+SCALES = {
+    "full": {
+        "suffix": "",
+        "speedup_shape": (1024, 1024, 16),
+        "llama_shape": (4096, 4096, 16),
+        "lowered_gate": 3.0,
+    },
+    "smoke": {
+        "suffix": "_smoke",
+        "speedup_shape": (256, 256, 16),
+        "llama_shape": (512, 512, 16),
+        "lowered_gate": 2.0,
+    },
+}
+#: Absolute floor: fast path vs the scalar oracle, every scale.
+SPEEDUP_GATE = 10.0
+#: Regression bound: a fresh speedup may not fall below this fraction of the
+#: checked-in baseline's (generous — CI machines vary widely).
+REGRESSION_FACTOR = 0.4
+
+
+def output_path(scale: str) -> Path:
+    return REPO_ROOT / f"BENCH_perf_gemm{SCALES[scale]['suffix']}.json"
 
 
 def _time(func, repeats=1):
@@ -48,10 +88,11 @@ def _random_gemm(rng, n, k, m, weight_bits):
     return weight, activation
 
 
-def bench_speedup_1024():
-    """Fast vs scalar on 1024x1024x16 (T=8, S=4); asserts bit-exactness."""
+def bench_speedup(shape):
+    """Fast vs scalar (T=8, S=4); asserts bit-exactness."""
+    n, k, m = shape
     rng = np.random.default_rng(0)
-    weight, activation = _random_gemm(rng, 1024, 1024, 16, weight_bits=4)
+    weight, activation = _random_gemm(rng, n, k, m, weight_bits=4)
     expected = weight @ activation
 
     fast = TransitiveGemmEngine(transrow_bits=8, max_distance=4, fast=True)
@@ -73,7 +114,7 @@ def bench_speedup_1024():
     assert np.array_equal(scalar_report.output, expected)
     assert fast_report.op_counts == scalar_report.op_counts
     return {
-        "shape": [1024, 1024, 16],
+        "shape": list(shape),
         "transrow_bits": 8,
         "weight_bits": 4,
         "scalar_s": scalar_s,
@@ -85,59 +126,160 @@ def bench_speedup_1024():
     }
 
 
-def bench_llama_fc_4096():
-    """Fast path on a LLaMA-style 4096x4096x16 FC layer (8-bit weights)."""
+def bench_llama_fc(shape):
+    """Fast, interpreted-planned and lowered-planned on an FC layer (S=8)."""
+    n, k, m = shape
     rng = np.random.default_rng(1)
-    weight, activation = _random_gemm(rng, 4096, 4096, 16, weight_bits=8)
+    weight, activation = _random_gemm(rng, n, k, m, weight_bits=8)
     expected = weight @ activation
 
     engine = TransitiveGemmEngine(transrow_bits=8, max_distance=4, fast=True)
     cold_s, report = _time(lambda: engine.multiply(weight, activation, 8))
-    new_activation = rng.integers(-128, 128, size=(4096, 16), dtype=np.int64)
+    new_activation = rng.integers(-128, 128, size=(k, m), dtype=np.int64)
     warm_s, warm_report = _time(lambda: engine.multiply(weight, new_activation, 8))
+
+    # The serving path: compile the plan once (scoreboard from the warm LRU
+    # cache + kernel lowering), then time one planned call through the lowered
+    # kernel and one through the retained interpreter.
+    plan_start = time.perf_counter()
+    plan = engine.plan(weight, 8)
+    plan_compile_s = time.perf_counter() - plan_start
+    planned_s, planned_report = _time(
+        lambda: engine.multiply_planned(plan, activation), repeats=3
+    )
+    dense_planned_s, interp_report = _time(
+        lambda: engine.multiply_planned(plan, activation, lowered=False),
+        repeats=3,
+    )
 
     assert np.array_equal(report.output, expected)
     assert np.array_equal(warm_report.output, weight @ new_activation)
+    assert np.array_equal(planned_report.output, expected)
+    assert np.array_equal(interp_report.output, expected)
+    assert planned_report.op_counts == report.op_counts
     info = engine.scoreboard_cache_info()
     assert info.hits >= 1
     return {
-        "shape": [4096, 4096, 16],
+        "shape": list(shape),
         "transrow_bits": 8,
         "weight_bits": 8,
         "fast_cold_s": cold_s,
         "fast_cached_s": warm_s,
+        "plan_compile_s": plan_compile_s,
+        "lowering_s": plan.kernel.lowering_s,
+        "planned_s": planned_s,
+        "dense_planned_s": dense_planned_s,
+        "planned_speedup_vs_dense": dense_planned_s / planned_s,
+        "kernel": plan.kernel.stats(),
         "total_transrows": report.op_counts.total_transrows,
         "density": report.op_counts.density,
     }
 
 
-def run(write: bool = True) -> dict:
+def run(scale: str = "full", write: bool = True) -> dict:
+    config = SCALES[scale]
     results = {
         "benchmark": "bench_perf_gemm",
-        "speedup_1024": bench_speedup_1024(),
-        "llama_fc_4096": bench_llama_fc_4096(),
+        "scale": scale,
+        "speedup_1024": bench_speedup(config["speedup_shape"]),
+        "llama_fc_4096": bench_llama_fc(config["llama_shape"]),
     }
     if write:
-        OUTPUT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+        output_path(scale).write_text(json.dumps(results, indent=2) + "\n")
     return results
 
 
+def check(scale: str, results: dict, baseline: dict) -> list:
+    """Gate a fresh run: absolute floors + regression vs the baseline JSON."""
+    failures = []
+    speedup = results["speedup_1024"]["speedup"]
+    if speedup < SPEEDUP_GATE:
+        failures.append(
+            f"fast-path speedup {speedup:.1f}x is below the "
+            f"{SPEEDUP_GATE:.0f}x gate"
+        )
+    lowered = results["llama_fc_4096"]["planned_speedup_vs_dense"]
+    gate = SCALES[scale]["lowered_gate"]
+    if lowered < gate:
+        failures.append(
+            f"lowered-kernel speedup {lowered:.2f}x over the interpreted "
+            f"planned path is below the {gate:.1f}x gate"
+        )
+    for metric, fresh_value in (
+        ("speedup_1024.speedup", speedup),
+        ("llama_fc_4096.planned_speedup_vs_dense", lowered),
+    ):
+        section, key = metric.split(".")
+        baseline_value = baseline.get(section, {}).get(key)
+        if baseline_value is None:
+            continue
+        floor = REGRESSION_FACTOR * baseline_value
+        if fresh_value < floor:
+            failures.append(
+                f"{metric} regressed: {fresh_value:.2f} vs baseline "
+                f"{baseline_value:.2f} (floor {floor:.2f})"
+            )
+    return failures
+
+
 def test_fast_path_speedup_over_scalar():
-    """Tier-2 gate: the fast path is >= 10x the scalar engine at LLM tile size."""
-    results = run(write=True)
-    assert results["speedup_1024"]["speedup"] >= 10.0
+    """Tier-2 gate: >= 10x over scalar and a faster lowered than interpreted
+    planned path at LLM tile size."""
+    results = run(scale="full", write=True)
+    assert results["speedup_1024"]["speedup"] >= SPEEDUP_GATE
+    assert (
+        results["llama_fc_4096"]["planned_speedup_vs_dense"]
+        >= SCALES["full"]["lowered_gate"]
+    )
+
+
+def _print_results(scale, results):
+    one = results["speedup_1024"]
+    llama = results["llama_fc_4096"]
+    kernel = llama["kernel"]
+    print(f"[{scale}] {'x'.join(map(str, one['shape']))} (T=8, S=4): "
+          f"scalar {one['scalar_s']:.3f}s, "
+          f"fast {one['fast_s']:.3f}s ({one['speedup']:.1f}x), "
+          f"cached {one['fast_cached_s']:.3f}s ({one['speedup_cached']:.1f}x)")
+    print(f"[{scale}] {'x'.join(map(str, llama['shape']))} (T=8, S=8): "
+          f"fast cold {llama['fast_cold_s']:.3f}s, "
+          f"cached {llama['fast_cached_s']:.3f}s")
+    print(f"[{scale}] planned: lowered {llama['planned_s'] * 1e3:.2f} ms "
+          f"({kernel['backend']}) vs interpreted "
+          f"{llama['dense_planned_s'] * 1e3:.2f} ms "
+          f"-> {llama['planned_speedup_vs_dense']:.2f}x "
+          f"(lowering {llama['lowering_s'] * 1e3:.1f} ms, "
+          f"{kernel['kernel_bytes'] / 1024:.0f} KiB)")
+    print(f"wrote {output_path(scale)}")
 
 
 def main() -> None:
-    results = run(write=True)
-    one = results["speedup_1024"]
-    llama = results["llama_fc_4096"]
-    print(f"1024x1024x16 (T=8, S=4): scalar {one['scalar_s']:.3f}s, "
-          f"fast {one['fast_s']:.3f}s ({one['speedup']:.1f}x), "
-          f"cached {one['fast_cached_s']:.3f}s ({one['speedup_cached']:.1f}x)")
-    print(f"4096x4096x16 (T=8, S=8): fast cold {llama['fast_cold_s']:.3f}s, "
-          f"cached {llama['fast_cached_s']:.3f}s")
-    print(f"wrote {OUTPUT_PATH}")
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="full",
+        help="paper-sized shapes (full) or CI-sized shapes (smoke)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate the fresh run against absolute floors and the checked-in "
+             "baseline JSON; exit non-zero on failure",
+    )
+    args = parser.parse_args()
+    baseline = {}
+    if args.check and output_path(args.scale).exists():
+        baseline = json.loads(output_path(args.scale).read_text())
+    results = run(scale=args.scale, write=True)
+    _print_results(args.scale, results)
+    if args.check:
+        failures = check(args.scale, results, baseline)
+        for failure in failures:
+            print(f"GATE FAILED: {failure}")
+        if failures:
+            raise SystemExit(1)
+        print(f"[{args.scale}] all perf gates passed")
 
 
 if __name__ == "__main__":

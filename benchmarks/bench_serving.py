@@ -1,19 +1,26 @@
 #!/usr/bin/env python
-"""Serving-runtime benchmark on a LLaMA-7B FC layer (BENCH_serving.json).
+"""Serving-runtime benchmark over a compiled, kernel-lowered model plan.
 
-Compiles the ``q_proj`` layer of the LLaMA-7B Transformer block (4096x4096,
-INT4 weights) into a :class:`~repro.serving.ModelPlan`, then measures:
+Compiles one layer into a :class:`~repro.serving.ModelPlan` (the compiled
+plan carries a lowered ``repro.kernels`` executor per layer), then measures:
 
-* **batched serving**: 64 concurrent single-column requests through the
-  thread-pool server and micro-batcher (``max_batch=16``) — throughput and
-  p50/p95/p99 latency under concurrent load;
+* **batched serving**: concurrent single-column requests through the
+  thread-pool server and micro-batcher — throughput and p50/p95/p99 latency
+  under concurrent load;
 * **sequential baseline**: the repo's pre-serving API, one ``engine.multiply``
   call per request against the warm static-scoreboard LRU cache.
 
-The gate asserts batched serving throughput >= 2x the sequential loop (the
-measured margin is typically much larger) with every output bit-identical to
-``weight @ activation``.  Run as a script or through pytest; both write
-``BENCH_serving.json`` at the repository root.
+Two scales share the harness (``--scale``):
+
+* ``full`` (default) — the ``q_proj`` layer of LLaMA-7B (4096x4096, INT4);
+  writes ``BENCH_serving.json``;
+* ``smoke`` — a synthetic 256x256 INT4 layer, same request mix; writes
+  ``BENCH_serving_smoke.json`` in seconds for per-PR CI.
+
+The gate asserts batched serving throughput >= 2x the sequential loop with
+every output bit-identical to ``weight @ activation``; ``--check`` also
+applies generous regression bounds (throughput floor, p99 ceiling) against
+the checked-in baseline JSON of the same scale and exits non-zero on failure.
 
 ``--faults smoke`` runs the chaos smoke scenario instead: a synthetic
 two-layer plan served under seeded injected engine faults, latency and a
@@ -43,32 +50,53 @@ from repro.serving import (  # noqa: E402
 )
 from repro.workloads import llama_fc_gemms, synthetic_gemm_workload  # noqa: E402
 
-OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
-FAULTS_OUTPUT_PATH = (
-    Path(__file__).resolve().parent.parent / "BENCH_serving_faults.json"
-)
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FAULTS_OUTPUT_PATH = REPO_ROOT / "BENCH_serving_faults.json"
 #: Chaos gate: fraction of client requests that must still succeed.
 AVAILABILITY_GATE = 0.99
+#: Absolute floor: batched serving vs the sequential single-GEMM loop.
+SPEEDUP_GATE = 2.0
+#: Regression bounds vs the checked-in baseline (generous — CI varies).
+RPS_REGRESSION_FACTOR = 0.25
+P99_REGRESSION_FACTOR = 4.0
 
-MODEL = "llama1-7b"
-LAYER = "q_proj"
-WEIGHT_BITS = 4
 NUM_REQUESTS = 64
 MAX_BATCH = 16
 NUM_WORKERS = 2
 SEQUENTIAL_SAMPLE = 8
+WEIGHT_BITS = 4
+
+#: Per-scale scenario parameters; both scales run the identical harness.
+SCALES = {
+    "full": {"suffix": "", "model": "llama1-7b", "layer": "q_proj"},
+    "smoke": {"suffix": "_smoke", "model": "serving-smoke", "layer": "layer0"},
+}
 
 
-def _compile_plan():
-    workload = llama_fc_gemms(MODEL, weight_bits=WEIGHT_BITS)
+def output_path(scale: str) -> Path:
+    return REPO_ROOT / f"BENCH_serving{SCALES[scale]['suffix']}.json"
+
+
+def _workload(scale: str):
+    if scale == "full":
+        return llama_fc_gemms(SCALES["full"]["model"], weight_bits=WEIGHT_BITS)
+    return synthetic_gemm_workload(
+        num_layers=1, n=256, k=256, m=1, weight_bits=WEIGHT_BITS,
+        name=SCALES["smoke"]["model"],
+    )
+
+
+def _compile_plan(scale: str):
+    workload = _workload(scale)
+    layer = SCALES[scale]["layer"]
     start = time.perf_counter()
-    plan = compile_workload(workload, layer_names=[LAYER], seed=42)
+    plan = compile_workload(workload, layer_names=[layer], seed=42)
     return plan, time.perf_counter() - start
 
 
-def bench_serving(plan):
-    """64 concurrent single-column requests through the micro-batcher."""
-    layer = plan.layer(LAYER)
+def bench_serving(plan, layer_name):
+    """Concurrent single-column requests through the micro-batcher."""
+    layer = plan.layer(layer_name)
     rng = np.random.default_rng(7)
     activations = [
         rng.integers(-128, 128, size=(layer.shape.k, 1), dtype=np.int64)
@@ -76,7 +104,7 @@ def bench_serving(plan):
     ]
     with Server(plan, num_workers=NUM_WORKERS, max_batch=MAX_BATCH,
                 max_pending=NUM_REQUESTS) as server:
-        requests = [server.submit(LAYER, act) for act in activations]
+        requests = [server.submit(layer_name, act) for act in activations]
         outputs = [request.result(timeout=600.0) for request in requests]
     for activation, output in zip(activations, outputs):
         assert np.array_equal(output, layer.weight @ activation)
@@ -100,36 +128,72 @@ def bench_serving(plan):
     return report, sequential_rps
 
 
-def run(write: bool = True) -> dict:
+def run(scale: str = "full", write: bool = True) -> dict:
     """Shared harness: the LLaMA acceptance test in ``tests/serving`` and the
     CI gate below both run this, so the scenario cannot drift between them."""
-    plan, compile_s = _compile_plan()
-    report, sequential_rps = bench_serving(plan)
+    config = SCALES[scale]
+    plan, compile_s = _compile_plan(scale)
+    report, sequential_rps = bench_serving(plan, config["layer"])
     results = {
         "benchmark": "bench_serving",
+        "scale": scale,
         "bit_identical": True,  # bench_serving asserted every output
-        "model": MODEL,
-        "layer": LAYER,
+        "model": config["model"],
+        "layer": config["layer"],
         "weight_bits": WEIGHT_BITS,
         "num_requests": NUM_REQUESTS,
         "max_batch": MAX_BATCH,
         "num_workers": NUM_WORKERS,
         "compile_s": compile_s,
+        "compile_stats": plan.compile_stats.as_dict(),
         "sequential_rps": sequential_rps,
         "speedup_vs_sequential": report.throughput_rps / sequential_rps,
         "serving": report.as_dict(),
     }
     if write:
-        OUTPUT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+        output_path(scale).write_text(json.dumps(results, indent=2) + "\n")
     return results
+
+
+def check(results: dict, baseline: dict) -> list:
+    """Gate a fresh run: absolute floor + regression vs the baseline JSON."""
+    failures = []
+    speedup = results["speedup_vs_sequential"]
+    if speedup < SPEEDUP_GATE:
+        failures.append(
+            f"batched serving speedup {speedup:.2f}x over sequential is "
+            f"below the {SPEEDUP_GATE:.0f}x gate"
+        )
+    if not results["compile_stats"]["kernel_backends"]:
+        failures.append("compiled plan carries no lowered kernel backend")
+    fresh_rps = results["serving"]["throughput_rps"]
+    baseline_rps = baseline.get("serving", {}).get("throughput_rps")
+    if baseline_rps is not None:
+        floor = RPS_REGRESSION_FACTOR * baseline_rps
+        if fresh_rps < floor:
+            failures.append(
+                f"throughput regressed: {fresh_rps:.0f} req/s vs baseline "
+                f"{baseline_rps:.0f} req/s (floor {floor:.0f})"
+            )
+    fresh_p99 = results["serving"]["latency_p99_s"]
+    baseline_p99 = baseline.get("serving", {}).get("latency_p99_s")
+    if baseline_p99:
+        ceiling = P99_REGRESSION_FACTOR * baseline_p99
+        if fresh_p99 > ceiling:
+            failures.append(
+                f"p99 latency regressed: {fresh_p99 * 1e3:.1f} ms vs baseline "
+                f"{baseline_p99 * 1e3:.1f} ms (ceiling {ceiling * 1e3:.1f} ms)"
+            )
+    return failures
 
 
 def test_batched_serving_2x_sequential():
     """Tier-2 gate: batched serving >= 2x the sequential single-GEMM loop."""
-    results = run(write=True)
-    assert results["speedup_vs_sequential"] >= 2.0
+    results = run(scale="full", write=True)
+    assert results["speedup_vs_sequential"] >= SPEEDUP_GATE
     assert results["serving"]["num_requests"] == NUM_REQUESTS
     assert results["serving"]["latency_p99_s"] > 0.0
+    assert results["compile_stats"]["kernel_backends"]
 
 
 def run_chaos_smoke(write: bool = True) -> dict:
@@ -218,8 +282,37 @@ def chaos_main() -> None:
         )
 
 
+def _print_results(scale, results):
+    serving = results["serving"]
+    compile_stats = results["compile_stats"]
+    backends = ", ".join(compile_stats["kernel_backends"]) or "none"
+    print(f"[{scale}] {results['model']} {results['layer']} "
+          f"(INT{WEIGHT_BITS}): compile {results['compile_s']:.2f}s "
+          f"(lowering {compile_stats['lowering_s'] * 1e3:.1f} ms, "
+          f"kernel backend {backends})")
+    print(f"batched   : {serving['throughput_rps']:.1f} req/s, "
+          f"p50 {serving['latency_p50_s'] * 1e3:.0f} ms, "
+          f"p99 {serving['latency_p99_s'] * 1e3:.0f} ms, "
+          f"mean batch {serving['mean_batch_size']:.1f}")
+    print(f"sequential: {results['sequential_rps']:.1f} req/s "
+          f"-> {results['speedup_vs_sequential']:.1f}x from batched serving")
+    print(f"wrote {output_path(scale)}")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="full",
+        help="LLaMA-7B q_proj (full) or a CI-sized synthetic layer (smoke)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate the fresh run against absolute floors and the checked-in "
+             "baseline JSON; exit non-zero on failure",
+    )
     parser.add_argument(
         "--faults",
         choices=["smoke"],
@@ -231,16 +324,18 @@ def main() -> None:
     if args.faults == "smoke":
         chaos_main()
         return
-    results = run(write=True)
-    serving = results["serving"]
-    print(f"{MODEL} {LAYER} (INT{WEIGHT_BITS}): compile {results['compile_s']:.2f}s")
-    print(f"batched   : {serving['throughput_rps']:.1f} req/s, "
-          f"p50 {serving['latency_p50_s'] * 1e3:.0f} ms, "
-          f"p99 {serving['latency_p99_s'] * 1e3:.0f} ms, "
-          f"mean batch {serving['mean_batch_size']:.1f}")
-    print(f"sequential: {results['sequential_rps']:.1f} req/s "
-          f"-> {results['speedup_vs_sequential']:.1f}x from batched serving")
-    print(f"wrote {OUTPUT_PATH}")
+    baseline = {}
+    if args.check and output_path(args.scale).exists():
+        baseline = json.loads(output_path(args.scale).read_text())
+    results = run(scale=args.scale, write=True)
+    _print_results(args.scale, results)
+    if args.check:
+        failures = check(results, baseline)
+        for failure in failures:
+            print(f"GATE FAILED: {failure}")
+        if failures:
+            raise SystemExit(1)
+        print(f"[{args.scale}] all serving gates passed")
 
 
 if __name__ == "__main__":

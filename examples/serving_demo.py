@@ -3,7 +3,8 @@
 
 Compiles the attention projections of the LLaMA-7B Transformer block (INT4
 weights) into a :class:`~repro.serving.ModelPlan` — each layer's weights are
-bit-sliced and static-scoreboarded once, offline — then spins up the
+bit-sliced, static-scoreboarded and lowered to a compiled kernel (the
+autoselected backend is printed) once, offline — then spins up the
 thread-pool server and fires concurrent single-token requests at it from
 client threads.  The micro-batcher coalesces same-layer activations into
 single engine passes; every output is checked bit-exact against
@@ -37,7 +38,12 @@ def main() -> None:
     plan = compile_workload(workload, layer_names=LAYERS, seed=42)
     print(f"  compiled {len(plan)} layers in {time.perf_counter() - start:.2f}s "
           f"({plan.op_counts.total_transrows} TransRows scoreboarded once, "
-          f"density {plan.op_counts.density:.1%})\n")
+          f"density {plan.op_counts.density:.1%})")
+    stats = plan.compile_stats
+    backends = ", ".join(stats.kernel_backends) if stats.kernel_backends else "none"
+    print(f"  lowered to compiled kernels via: {backends} "
+          f"({stats.lowering_s * 1e3:.1f} ms lowering, "
+          f"{stats.kernel_bytes / 1024:.1f} KiB)\n")
 
     rng = np.random.default_rng(0)
     targets = [LAYERS[index % len(LAYERS)] for index in range(NUM_REQUESTS)]

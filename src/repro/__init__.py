@@ -4,7 +4,8 @@ The library exposes four layers:
 
 * algorithmic substrate — :mod:`repro.quant`, :mod:`repro.bitslice`,
   :mod:`repro.hasse`, :mod:`repro.scoreboard`;
-* the paper's contribution in functional form — :mod:`repro.core`;
+* the paper's contribution in functional form — :mod:`repro.core`, with
+  offline plan→kernel lowering in :mod:`repro.kernels`;
 * the architectural simulator — :mod:`repro.transarray`, :mod:`repro.baselines`,
   :mod:`repro.memory`, :mod:`repro.energy`;
 * the evaluation harness — :mod:`repro.workloads`, :mod:`repro.analysis`.
@@ -47,6 +48,7 @@ from .errors import (
     ConfigurationError,
     DeadlineExceededError,
     InjectedFaultError,
+    KernelLoweringError,
     QuantizationError,
     ReproError,
     RequestCancelledError,
@@ -90,6 +92,7 @@ __all__ = [
     "ConfigurationError",
     "DeadlineExceededError",
     "InjectedFaultError",
+    "KernelLoweringError",
     "QuantizationError",
     "ReproError",
     "RequestCancelledError",

@@ -93,4 +93,13 @@ def format_serving_report(report: "ServingReport") -> str:
         rows.append(
             ("attributed energy", f"{report.attributed_energy.total_nj / 1e3:.1f} uJ")
         )
+    if report.compile_stats is not None:
+        stats = report.compile_stats
+        backends = ", ".join(stats.kernel_backends) if stats.kernel_backends else "none"
+        rows.append(("kernel backends", backends))
+        rows.append(
+            ("offline compile", f"{stats.compile_s * 1e3:.1f} ms "
+                                f"({stats.lowering_s * 1e3:.1f} ms lowering)")
+        )
+        rows.append(("compiled kernel size", f"{stats.kernel_bytes / 1024:.1f} KiB"))
     return format_table(["metric", "value"], rows)

@@ -24,15 +24,25 @@ Two execution paths produce identical outputs and identical
   cache keyed on the weight matrix ("static scoreboard" serving mode) lets
   repeated inference over new activations skip bit-slicing and scoreboarding
   entirely.
+
+On top of both, :meth:`TransitiveGemmEngine.plan` compiles a weight matrix
+**once, offline** into a :class:`GemmPlan`, and (by default) lowers the plan
+through :mod:`repro.kernels` into a flat :class:`~repro.kernels.LoweredKernel`
+— scatter/gather index tables composed into a single dense or sparse integer
+matmul.  Planned execution (:meth:`TransitiveGemmEngine.multiply_planned`,
+:meth:`TransitiveGemmEngine.multiply_many`) runs the lowered kernel when one
+is attached and the interpreted batched path otherwise; both are bit-identical
+to the scalar oracle and carry the plan's exact operation counts.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -48,6 +58,9 @@ from ..scoreboard.batched import (
     run_scoreboard_batch,
 )
 from .metrics import OpCounts, op_counts_from_result
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, repro.kernels imports us
+    from ..kernels import LoweredKernel
 
 #: Soft cap (bytes) on the fast path's per-block scratch arrays; chunks are
 #: processed in blocks sized so the node-result tensor and the per-plane
@@ -98,6 +111,11 @@ class GemmPlan:
     fingerprinting, bit-slicing and scoreboarding entirely and goes straight
     to the gather/accumulate stages, which is what a serving runtime needs on
     its per-request hot path.
+
+    When the engine lowers plans (the default), ``kernel`` holds the
+    :class:`~repro.kernels.LoweredKernel` compiled from the packed TransRows
+    — planned execution then is one flat dense/sparse matmul instead of an
+    interpreted lattice walk, still bit-identical with identical OpCounts.
     """
 
     weight: np.ndarray
@@ -106,6 +124,7 @@ class GemmPlan:
     max_distance: int
     packed: np.ndarray
     op_counts: OpCounts
+    kernel: Optional["LoweredKernel"] = None
 
     @property
     def n(self) -> int:
@@ -212,6 +231,20 @@ class TransitiveGemmEngine:
     scoreboard_cache_entries:
         Capacity of the static-scoreboard LRU cache used by the fast path.
         ``0`` disables caching (every call re-scoreboards the weights).
+    lower_plans:
+        Lower every :meth:`plan` into a flat compiled kernel by default
+        (:mod:`repro.kernels`); planned execution then runs the kernel
+        instead of interpreting the scoreboard structures per call.
+    kernel_backend:
+        Explicit kernel backend name for lowering (``"dense-numpy"``,
+        ``"csr-scipy"``, ``"reference"``); ``None`` autoselects by
+        capability (the ``REPRO_KERNEL_BACKEND`` environment variable still
+        overrides autoselection).
+    kernel_cache_entries:
+        Capacity of the lowered-kernel LRU cache, kept alongside the
+        scoreboard cache so re-planning the same weights (per-shard or
+        per-layer plan rebuilds in serving) skips lowering too.  ``0``
+        disables it.
     """
 
     def __init__(
@@ -221,6 +254,9 @@ class TransitiveGemmEngine:
         num_lanes: Optional[int] = None,
         fast: bool = True,
         scoreboard_cache_entries: int = 4,
+        lower_plans: bool = True,
+        kernel_backend: Optional[str] = None,
+        kernel_cache_entries: int = 4,
     ) -> None:
         if transrow_bits < 1 or transrow_bits > 16:
             raise SimulationError(
@@ -230,11 +266,18 @@ class TransitiveGemmEngine:
             raise SimulationError(
                 f"scoreboard_cache_entries must be >= 0, got {scoreboard_cache_entries}"
             )
+        if kernel_cache_entries < 0:
+            raise SimulationError(
+                f"kernel_cache_entries must be >= 0, got {kernel_cache_entries}"
+            )
         self.transrow_bits = transrow_bits
         self.max_distance = max_distance
         self.num_lanes = num_lanes if num_lanes is not None else transrow_bits
         self.fast = fast
+        self.lower_plans = lower_plans
+        self.kernel_backend = kernel_backend
         self._cache = _StaticScoreboardCache(scoreboard_cache_entries)
+        self._kernel_cache = _StaticScoreboardCache(kernel_cache_entries)
 
     # ------------------------------------------------------------------ API
     def multiply(
@@ -274,8 +317,18 @@ class TransitiveGemmEngine:
         """Hit/miss statistics of the static-scoreboard cache."""
         return self._cache.info()
 
+    def kernel_cache_info(self) -> ScoreboardCacheInfo:
+        """Hit/miss statistics of the lowered-kernel cache."""
+        return self._kernel_cache.info()
+
     # ---------------------------------------------------------- plan serving
-    def plan(self, weight: np.ndarray, weight_bits: int) -> GemmPlan:
+    def plan(
+        self,
+        weight: np.ndarray,
+        weight_bits: int,
+        lower: Optional[bool] = None,
+        kernel_backend: Optional[str] = None,
+    ) -> GemmPlan:
         """Precompute the static scoreboard of one weight matrix, offline.
 
         Bit-slices, packs and scoreboards the weights exactly once and returns
@@ -284,6 +337,12 @@ class TransitiveGemmEngine:
         weight fingerprint and all weight-side work; the LRU cache is warmed
         as a side effect so plain :meth:`multiply` calls with the same weights
         also hit.
+
+        ``lower`` (default: the engine's ``lower_plans`` setting) also
+        compiles the plan into a flat :class:`~repro.kernels.LoweredKernel`
+        through ``kernel_backend`` (default: the engine's setting, else
+        autoselection); lowered kernels are cached in their own LRU alongside
+        the scoreboard cache.
         """
         # Pin the compiled weights: a caller-side mutation after plan() must
         # not desynchronise plan.weight from the packed TransRows.
@@ -295,7 +354,7 @@ class TransitiveGemmEngine:
             raise SimulationError("cannot plan a weight matrix with a zero dimension")
         packed, counts, _ = self._packed_transrows_cached(weight, weight_bits)
         packed.setflags(write=False)  # shared with the LRU cache; never written
-        return GemmPlan(
+        plan = GemmPlan(
             weight=weight,
             weight_bits=weight_bits,
             transrow_bits=self.transrow_bits,
@@ -303,15 +362,66 @@ class TransitiveGemmEngine:
             packed=packed,
             op_counts=counts,
         )
+        should_lower = self.lower_plans if lower is None else lower
+        if not should_lower:
+            return plan
+        kernel = self._lowered_kernel_cached(plan, kernel_backend)
+        return dataclasses.replace(plan, kernel=kernel)
+
+    def _lowered_kernel_cached(
+        self, plan: GemmPlan, kernel_backend: Optional[str]
+    ) -> "LoweredKernel":
+        """Lower ``plan``, serving repeats from the lowered-kernel LRU.
+
+        The cache key extends the scoreboard key with the *effective* backend
+        request (explicit name, environment override, or ``auto``), so a hit
+        can never hand back a kernel compiled by a different backend than the
+        caller would get fresh.
+        """
+        # Imported lazily: repro.kernels consumes GemmPlan, so a module-level
+        # import here would be circular.
+        import os
+
+        from ..kernels import KERNEL_BACKEND_ENV, lower_plan
+
+        requested = kernel_backend or self.kernel_backend
+        effective = requested or os.environ.get(KERNEL_BACKEND_ENV) or "auto"
+        use_cache = self._kernel_cache.max_entries > 0
+        key: Optional[tuple] = None
+        if use_cache:
+            key = self._kernel_cache.key(
+                plan.weight, plan.weight_bits, self.transrow_bits, self.max_distance
+            ) + (effective,)
+            entry = self._kernel_cache.get(key)
+            if entry is not None:
+                return entry[0]
+        kernel = lower_plan(
+            plan,
+            backend=requested,
+            interpreter=lambda act: self._interpret_planned(
+                plan, np.asarray(act, dtype=np.int64)
+            ),
+        )
+        if use_cache and key is not None:
+            self._kernel_cache.put(key, (kernel,))
+        return kernel
 
     def multiply_planned(
-        self, plan: GemmPlan, activation: np.ndarray
+        self,
+        plan: GemmPlan,
+        activation: np.ndarray,
+        lowered: Optional[bool] = None,
     ) -> TransitiveGemmReport:
         """Compute ``plan.weight @ activation`` from the precompiled plan.
 
         The per-request hot path of the serving runtime: no hashing, no
-        bit-slicing, no scoreboarding — only the batched gather/accumulate
-        stages run.  Bit-identical to :meth:`multiply` on the same operands.
+        bit-slicing, no scoreboarding.  With a lowered kernel attached (the
+        default compilation mode) the whole call is one flat dense/sparse
+        matmul; otherwise the batched gather/accumulate stages interpret the
+        packed TransRows.  ``lowered`` forces the choice: ``True`` requires a
+        kernel, ``False`` interprets even when a kernel is attached (the
+        benchmarks time both).  Bit-identical to :meth:`multiply` on the same
+        operands either way.
         """
         self._check_plan(plan)
         activation = np.asarray(activation, dtype=np.int64)
@@ -322,24 +432,45 @@ class TransitiveGemmEngine:
                 f"shape mismatch: plan weight {plan.weight.shape} x "
                 f"activation {activation.shape}"
             )
+        use_kernel = (plan.kernel is not None) if lowered is None else bool(lowered)
+        if use_kernel:
+            if plan.kernel is None:
+                raise SimulationError(
+                    "lowered execution was requested but the plan carries no "
+                    "kernel; compile it with plan(..., lower=True)"
+                )
+            output = plan.kernel.execute(activation)
+            return TransitiveGemmReport(output=output, op_counts=plan.op_counts)
+        output = self._interpret_planned(plan, activation)
+        return TransitiveGemmReport(output=output, op_counts=plan.op_counts)
+
+    def _interpret_planned(self, plan: GemmPlan, activation: np.ndarray) -> np.ndarray:
+        """Interpreted planned execution: batched gather/accumulate stages.
+
+        The pre-lowering hot path, retained as the ``reference`` kernel
+        backend and the ``lowered=False`` escape hatch.
+        """
         width = self.transrow_bits
         num_chunks = plan.packed.shape[0]
         n_out_cols = activation.shape[1]
         act_full = np.zeros((num_chunks * width, n_out_cols), dtype=np.int64)
         act_full[: plan.k] = activation
         act = act_full.reshape(num_chunks, width, n_out_cols)
-        output = self._batched_node_results_and_accumulate(
+        return self._batched_node_results_and_accumulate(
             plan.packed, act, bit_plane_weights(plan.weight_bits), plan.n, n_out_cols
         )
-        return TransitiveGemmReport(output=output, op_counts=plan.op_counts)
 
     def multiply_many(
-        self, plan: GemmPlan, activations: Sequence[np.ndarray]
+        self,
+        plan: GemmPlan,
+        activations: Sequence[np.ndarray],
+        lowered: Optional[bool] = None,
     ) -> BatchedGemmReport:
         """Serve a micro-batch of activations in one engine pass.
 
         The activations are concatenated along their column axis, executed as
-        a single planned GEMM and split back, so each output equals
+        a single planned GEMM (lowered kernel by default, see
+        :meth:`multiply_planned`) and split back, so each output equals
         ``plan.weight @ activations[i]`` bit-exactly while the weight-side
         work is spent once for the whole batch.
         """

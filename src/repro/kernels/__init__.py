@@ -1,0 +1,63 @@
+"""Compiled sparse-kernel lowering for transitive-GEMM plans.
+
+The serving hot path of the library used to interpret scoreboard structures
+per call.  This package lowers each compiled
+:class:`~repro.core.transitive_gemm.GemmPlan` **once, offline** into a flat
+:class:`LoweredKernel` — scatter/gather index tables composed into a single
+dense or sparse integer matmul — behind a pluggable backend registry:
+
+* :mod:`repro.kernels.tables` — backend-neutral gather (prefix-reuse partial
+  sums) and scatter (plane-weighted accumulation) index tables;
+* :mod:`repro.kernels.registry` — named :class:`KernelBackend` registration
+  and capability-scored autoselection (explicit override →
+  ``REPRO_KERNEL_BACKEND`` → best available score);
+* :mod:`repro.kernels.backends` — ``dense-numpy`` (always available),
+  ``csr-scipy`` (optional scipy extra, one CSR matmul), and ``reference``
+  (the retained interpreted path, explicit opt-in only);
+* :mod:`repro.kernels.lowering` — :func:`lower_plan` producing the
+  :class:`LoweredKernel` the engine executes and the serving runtime reports.
+
+Everything here preserves the library's core invariant: lowered execution is
+bit-identical to the scalar oracle, and the plan's exact
+:class:`~repro.core.metrics.OpCounts` ride along untouched.
+"""
+
+from .backends import (
+    CsrScipyBackend,
+    DenseNumpyBackend,
+    ReferenceBackend,
+    reset_scipy_cache,
+    scipy_available,
+)
+from .lowering import LoweredKernel, lower_plan, lowering_tables
+from .registry import (
+    KERNEL_BACKEND_ENV,
+    BackendRegistry,
+    CompiledExecutor,
+    KernelBackend,
+    KernelSpec,
+    default_registry,
+    global_registry,
+)
+from .tables import ScatterGatherTables, build_tables, coo_stage_matrices
+
+__all__ = [
+    "KERNEL_BACKEND_ENV",
+    "BackendRegistry",
+    "CompiledExecutor",
+    "CsrScipyBackend",
+    "DenseNumpyBackend",
+    "KernelBackend",
+    "KernelSpec",
+    "LoweredKernel",
+    "ReferenceBackend",
+    "ScatterGatherTables",
+    "build_tables",
+    "coo_stage_matrices",
+    "default_registry",
+    "global_registry",
+    "lower_plan",
+    "lowering_tables",
+    "reset_scipy_cache",
+    "scipy_available",
+]

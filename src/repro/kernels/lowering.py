@@ -1,0 +1,150 @@
+"""Plan → kernel lowering: compile a :class:`GemmPlan` into a flat executor.
+
+:func:`lower_plan` is the one entry point: it builds the backend-neutral
+scatter/gather tables from the plan's packed TransRows, asks the backend
+registry to select an executor family (explicit override → environment
+variable → capability-scored autoselection), compiles the tables through it,
+and wraps the result in an immutable :class:`LoweredKernel` — the artifact
+the engine pins on the plan and the serving runtime reports on.
+
+Lowering happens once per weight matrix, offline; execution is one call into
+the backend's compiled closure per request (or micro-batch).  Outputs are
+bit-identical to the interpreted planned path and to the scalar oracle, and
+a lowered kernel carries the plan's exact :class:`~repro.core.metrics.OpCounts`
+— lowering changes how fast the answer is produced, never what is counted.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+import numpy as np
+
+from .registry import BackendRegistry, KernelSpec, global_registry
+from .tables import ScatterGatherTables, build_tables
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.metrics import OpCounts
+    from ..core.transitive_gemm import GemmPlan
+
+
+@dataclass(eq=False)
+class LoweredKernel:
+    """One weight matrix compiled to a flat numerical kernel.
+
+    Immutable after lowering and thread-safe to execute concurrently: the
+    executor closure only reads its compiled tables.
+    """
+
+    #: Name of the backend that compiled the executor.
+    backend: str
+    spec: KernelSpec
+    op_counts: "OpCounts"
+    #: Distinct referenced (chunk, node) partial sums in the gather stage.
+    num_slots: int
+    #: Slots a dense per-chunk lattice would materialise.
+    dense_slots: int
+    #: Nonzero TransRows folded into the output by the scatter stage.
+    scatter_entries: int
+    #: Bytes of compiled state the executor pins.
+    kernel_bytes: int
+    #: Wall-clock seconds spent lowering (tables + backend compile).
+    lowering_s: float
+    _execute: Callable[[np.ndarray], np.ndarray]
+
+    @property
+    def n(self) -> int:
+        """Output rows of the kernel."""
+        return self.spec.n
+
+    @property
+    def k(self) -> int:
+        """Reduction dimension (activation rows) of the kernel."""
+        return self.spec.k
+
+    @property
+    def slot_density(self) -> float:
+        """Referenced fraction of the dense lattice."""
+        return self.num_slots / self.dense_slots if self.dense_slots else 0.0
+
+    def execute(self, activation: np.ndarray) -> np.ndarray:
+        """Compute ``weight @ activation`` through the compiled backend.
+
+        ``activation`` must be ``(K, M)`` int64; the result is ``(N, M)``
+        int64, bit-identical to the interpreted path and the scalar oracle.
+        """
+        return self._execute(activation)
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-serialisable lowering statistics (benches embed these)."""
+        return {
+            "backend": self.backend,
+            "num_slots": self.num_slots,
+            "dense_slots": self.dense_slots,
+            "slot_density": self.slot_density,
+            "scatter_entries": self.scatter_entries,
+            "kernel_bytes": self.kernel_bytes,
+            "lowering_s": self.lowering_s,
+        }
+
+
+def lower_plan(
+    plan: "GemmPlan",
+    backend: Optional[str] = None,
+    registry: Optional[BackendRegistry] = None,
+    interpreter: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+) -> LoweredKernel:
+    """Lower one compiled plan into a :class:`LoweredKernel`, offline.
+
+    Parameters
+    ----------
+    plan:
+        A :class:`~repro.core.transitive_gemm.GemmPlan` (its packed TransRows
+        and shape drive the lowering; an attached kernel is ignored).
+    backend:
+        Explicit backend name; beats the ``REPRO_KERNEL_BACKEND`` environment
+        variable, which beats autoselection.
+    registry:
+        Backend registry to select from; the process-global default registry
+        otherwise.
+    interpreter:
+        Interpreted executor for the ``reference`` backend (the engine passes
+        its own planned path); a throwaway engine is built when omitted.
+    """
+    start = time.perf_counter()
+    tables = build_tables(
+        plan.packed, plan.weight_bits, plan.transrow_bits, plan.n, plan.k
+    )
+    spec = KernelSpec(
+        n=plan.n,
+        k=plan.k,
+        weight_bits=plan.weight_bits,
+        transrow_bits=plan.transrow_bits,
+        density=(
+            np.count_nonzero(plan.weight) / plan.weight.size
+            if plan.weight.size
+            else 0.0
+        ),
+    )
+    chosen = (registry or global_registry()).select(spec, override=backend)
+    compiled = chosen.lower(plan, tables, spec, interpreter=interpreter)
+    return LoweredKernel(
+        backend=chosen.name,
+        spec=spec,
+        op_counts=plan.op_counts,
+        num_slots=tables.num_slots,
+        dense_slots=tables.dense_slots,
+        scatter_entries=tables.scatter_entries,
+        kernel_bytes=compiled.kernel_bytes,
+        lowering_s=time.perf_counter() - start,
+        _execute=compiled.execute,
+    )
+
+
+def lowering_tables(plan: "GemmPlan") -> ScatterGatherTables:
+    """Backend-neutral scatter/gather tables of one plan (test/analysis aid)."""
+    return build_tables(
+        plan.packed, plan.weight_bits, plan.transrow_bits, plan.n, plan.k
+    )

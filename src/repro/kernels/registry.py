@@ -1,0 +1,210 @@
+"""Pluggable kernel-backend registry with capability-based autoselection.
+
+Modelled on GeneSys-style kernel-selection configs: every numerical executor
+registers itself as a named :class:`KernelBackend` declaring *availability*
+(are its dependencies importable?), *capability* (does it support this
+kernel's shape/precision?), and a *score* (how fast is it expected to be on
+this kernel?).  Lowering asks the registry to :meth:`~BackendRegistry.select`
+a backend for a :class:`KernelSpec`; the answer is deterministic:
+
+1. an explicit override wins — the ``backend=`` argument, the engine's
+   ``kernel_backend`` setting, or the ``REPRO_KERNEL_BACKEND`` environment
+   variable (in that order).  An override naming an unavailable or
+   incapable backend raises :class:`~repro.errors.KernelLoweringError`
+   rather than silently picking something else;
+2. otherwise the highest-scoring available backend that supports the spec
+   wins, ties broken by registration order.  Backends flagged
+   ``autoselectable = False`` (the ``reference`` interpreter) are only ever
+   chosen explicitly.
+
+The default :data:`REGISTRY` is process-global; tests and experiments build
+private :class:`BackendRegistry` instances instead of mutating it.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+import numpy as np
+
+from ..errors import KernelLoweringError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.transitive_gemm import GemmPlan
+    from .tables import ScatterGatherTables
+
+#: Environment variable forcing a backend by name for every lowering.
+KERNEL_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Shape/precision/density summary a backend scores itself against."""
+
+    n: int
+    k: int
+    weight_bits: int
+    transrow_bits: int
+    #: Fraction of nonzero entries in the composed ``(N, K)`` kernel matrix.
+    density: float
+
+    @property
+    def cells(self) -> int:
+        """Dense cell count of the composed kernel matrix."""
+        return self.n * self.k
+
+
+@dataclass(frozen=True)
+class CompiledExecutor:
+    """What a backend hands back from :meth:`KernelBackend.lower`."""
+
+    #: ``(K, M) int64 activation -> (N, M) int64 output``, bit-exact.
+    execute: Callable[[np.ndarray], np.ndarray]
+    #: Bytes of backing storage the executor pins (index tables + values).
+    kernel_bytes: int
+
+
+class KernelBackend(ABC):
+    """One numerical executor family for lowered kernels.
+
+    Subclasses are stateless: all per-kernel state lives in the closure
+    returned by :meth:`lower`, so one backend instance serves any number of
+    concurrent lowerings.
+    """
+
+    #: Registry key, stable across releases (``dense-numpy``, ``csr-scipy``...).
+    name: str = ""
+    #: Whether :meth:`BackendRegistry.select` may pick this backend on its
+    #: own; the reference interpreter sets this ``False``.
+    autoselectable: bool = True
+
+    @abstractmethod
+    def available(self) -> bool:
+        """Are this backend's dependencies importable right now?"""
+
+    def supports(self, spec: KernelSpec) -> bool:
+        """Capability check; the default accepts every spec when available."""
+        return self.available()
+
+    @abstractmethod
+    def score(self, spec: KernelSpec) -> float:
+        """Expected-performance rank for autoselection (higher wins)."""
+
+    @abstractmethod
+    def lower(
+        self,
+        plan: "GemmPlan",
+        tables: "ScatterGatherTables",
+        spec: KernelSpec,
+        interpreter: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ) -> CompiledExecutor:
+        """Compile the tables into an executor (called once, offline)."""
+
+
+class BackendRegistry:
+    """Ordered name → :class:`KernelBackend` mapping with autoselection."""
+
+    def __init__(self) -> None:
+        self._backends: "OrderedDict[str, KernelBackend]" = OrderedDict()
+
+    def register(self, backend: KernelBackend, replace: bool = False) -> KernelBackend:
+        """Register a backend under its ``name``; duplicate names error."""
+        if not backend.name:
+            raise KernelLoweringError("kernel backend must declare a name")
+        if backend.name in self._backends and not replace:
+            raise KernelLoweringError(
+                f"kernel backend '{backend.name}' is already registered; "
+                f"pass replace=True to override it"
+            )
+        self._backends[backend.name] = backend
+        return backend
+
+    def get(self, name: str) -> KernelBackend:
+        """Look up a backend by name (registered or not, available or not)."""
+        try:
+            return self._backends[name]
+        except KeyError as exc:
+            raise KernelLoweringError(
+                f"unknown kernel backend '{name}'; registered: {self.names()}"
+            ) from exc
+
+    def names(self) -> List[str]:
+        """Registered backend names in registration order."""
+        return list(self._backends)
+
+    def available_names(self) -> List[str]:
+        """Names of backends whose dependencies are importable right now."""
+        return [name for name, b in self._backends.items() if b.available()]
+
+    def select(
+        self, spec: KernelSpec, override: Optional[str] = None
+    ) -> KernelBackend:
+        """Pick the backend for one lowering (see module docstring).
+
+        ``override`` (caller argument or engine setting) beats the
+        ``REPRO_KERNEL_BACKEND`` environment variable, which beats
+        capability-scored autoselection.
+        """
+        forced = override or os.environ.get(KERNEL_BACKEND_ENV) or None
+        if forced:
+            backend = self.get(forced)
+            if not backend.available():
+                raise KernelLoweringError(
+                    f"kernel backend '{forced}' was requested explicitly but "
+                    f"its dependencies are not available; available: "
+                    f"{self.available_names()}"
+                )
+            if not backend.supports(spec):
+                raise KernelLoweringError(
+                    f"kernel backend '{forced}' does not support a "
+                    f"{spec.n}x{spec.k} S={spec.weight_bits} kernel"
+                )
+            return backend
+        best: Optional[KernelBackend] = None
+        best_score = float("-inf")
+        for backend in self._backends.values():
+            if not backend.autoselectable:
+                continue
+            if not backend.available() or not backend.supports(spec):
+                continue
+            score = backend.score(spec)
+            if score > best_score:  # ties keep the earlier registration
+                best, best_score = backend, score
+        if best is None:
+            raise KernelLoweringError(
+                "no kernel backend is available for autoselection; "
+                f"registered: {self.names()}"
+            )
+        return best
+
+
+def default_registry() -> BackendRegistry:
+    """Fresh registry holding the three built-in backends."""
+    from .backends import CsrScipyBackend, DenseNumpyBackend, ReferenceBackend
+
+    registry = BackendRegistry()
+    registry.register(DenseNumpyBackend())
+    registry.register(CsrScipyBackend())
+    registry.register(ReferenceBackend())
+    return registry
+
+
+#: Lazily-built process-global default registry (see :func:`global_registry`).
+_GLOBAL_REGISTRY: Optional[BackendRegistry] = None
+
+
+def global_registry() -> BackendRegistry:
+    """The process-global default registry, built on first use.
+
+    Built lazily rather than at import time: :func:`default_registry` imports
+    :mod:`repro.kernels.backends`, which imports this module, so an eager
+    module-level instance would be circular.
+    """
+    global _GLOBAL_REGISTRY
+    if _GLOBAL_REGISTRY is None:
+        _GLOBAL_REGISTRY = default_registry()
+    return _GLOBAL_REGISTRY

@@ -1,0 +1,239 @@
+"""Scatter/gather index tables: the backend-neutral half of plan lowering.
+
+A compiled :class:`~repro.core.transitive_gemm.GemmPlan` pins the packed
+TransRow values of one weight matrix — a ``(chunks, N, S)`` array whose entry
+``[c, n, s]`` is the ``T``-bit TranSparsity mask of bit plane ``s`` of weight
+row ``n`` in column chunk ``c``.  Interpreting that structure per call (walk
+the Hasse lattice level by level, gather every TransRow's node result, fold
+the plane-weighted contributions into the output) is what
+``multiply_planned`` used to do on the serving hot path.
+
+Lowering flattens the interpretation into two static index tables:
+
+* the **gather table** ``A``: one *slot* per distinct referenced
+  ``(chunk, node)`` pair; slot ``j``'s partial sum is the plain sum of the
+  activation rows its node's set bits address —
+  ``slot_result[j] = Σ activation[gather_cols[gather_indptr[j]:gather_indptr[j+1]]]``.
+  This is the prefix-reuse recurrence unrolled: a node's result equals its
+  clear-lowest-bit parent's result plus one input row, so by induction it is
+  exactly the sum over its set bits;
+* the **scatter table** ``B``: one entry per nonzero TransRow;
+  entry ``e`` adds ``scatter_weight[e] * slot_result[scatter_slot[e]]`` into
+  output row ``scatter_row[e]`` (the APE shift-and-accumulate stage with the
+  two's-complement plane weights baked in).
+
+``output = B(A(activation))`` therefore equals ``weight @ activation``
+bit-exactly, and because both stages are linear the whole plan composes into
+one ``(N, K)`` integer matrix — :meth:`ScatterGatherTables.compose_dense` —
+that numerical backends execute as a single dense or sparse matmul.  The
+tables depend only on the weights, so they are built once at lowering time
+and shared read-only by every request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..bitslice.slicer import bit_plane_weights
+from ..errors import KernelLoweringError
+
+
+@dataclass(eq=False)
+class ScatterGatherTables:
+    """Flat index tables lowering one compiled plan (see module docstring).
+
+    All arrays are read-only after construction; positions ``>= k`` never
+    appear in ``gather_cols`` (padding columns of the last chunk carry no set
+    bits), so executors may address the raw ``(K, M)`` activation directly.
+    """
+
+    n: int
+    k: int
+    weight_bits: int
+    transrow_bits: int
+    num_chunks: int
+    #: Chunk index of each slot, ascending; shape ``(num_slots,)``.
+    slot_chunk: np.ndarray
+    #: TranSparsity node value of each slot (nonzero); shape ``(num_slots,)``.
+    slot_value: np.ndarray
+    #: CSR-style offsets into ``gather_cols``; shape ``(num_slots + 1,)``.
+    gather_indptr: np.ndarray
+    #: Activation-row index per gathered input; shape ``(total set bits,)``.
+    gather_cols: np.ndarray
+    #: Output row of each scatter entry; shape ``(scatter_entries,)``.
+    scatter_row: np.ndarray
+    #: Slot index of each scatter entry; shape ``(scatter_entries,)``.
+    scatter_slot: np.ndarray
+    #: Signed two's-complement plane weight of each scatter entry.
+    scatter_weight: np.ndarray
+
+    # -------------------------------------------------------------- metrics
+    @property
+    def num_slots(self) -> int:
+        """Distinct referenced ``(chunk, node)`` partial sums."""
+        return int(self.slot_chunk.shape[0])
+
+    @property
+    def dense_slots(self) -> int:
+        """Slots a dense per-chunk lattice would materialise."""
+        return self.num_chunks * (1 << self.transrow_bits)
+
+    @property
+    def slot_density(self) -> float:
+        """Referenced fraction of the dense lattice."""
+        return self.num_slots / self.dense_slots if self.dense_slots else 0.0
+
+    @property
+    def scatter_entries(self) -> int:
+        """Nonzero TransRows folded into the output (zero rows cost nothing)."""
+        return int(self.scatter_row.shape[0])
+
+    @property
+    def gather_entries(self) -> int:
+        """Total activation-row reads across all slots."""
+        return int(self.gather_cols.shape[0])
+
+    # ---------------------------------------------------------- composition
+    def compose_dense(self) -> np.ndarray:
+        """Compose both stages into one dense ``(N, K)`` int64 matrix.
+
+        ``compose_dense() @ activation`` is bit-identical to executing the
+        gather and scatter stages in sequence — and, by the engine's core
+        invariant, to ``plan.weight @ activation``.  Pure NumPy (no scipy):
+        every (scatter entry × gathered column) pair contributes its plane
+        weight to one matrix cell, accumulated with a single ``bincount``.
+        """
+        padded_k = self.num_chunks * self.transrow_bits
+        lengths = np.diff(self.gather_indptr)
+        # Expand each scatter entry once per column its slot gathers.
+        repeat = lengths[self.scatter_slot]
+        rows = np.repeat(self.scatter_row, repeat)
+        weights = np.repeat(self.scatter_weight, repeat)
+        starts = self.gather_indptr[self.scatter_slot]
+        # Per-expanded-entry offset 0..repeat-1 into the slot's gather run.
+        offsets = np.arange(repeat.sum(), dtype=np.int64) - np.repeat(
+            np.cumsum(repeat) - repeat, repeat
+        )
+        cols = self.gather_cols[np.repeat(starts, repeat) + offsets]
+        flat = rows * padded_k + cols
+        # Plane weights are < 2**16 and multiplicities are bounded by S, so
+        # the float64 bincount accumulator is exact (all sums << 2**53).
+        dense = np.bincount(
+            flat, weights=weights.astype(np.float64), minlength=self.n * padded_k
+        )
+        composed = dense.reshape(self.n, padded_k).astype(np.int64)
+        return np.ascontiguousarray(composed[:, : self.k])
+
+
+def build_tables(
+    packed: np.ndarray,
+    weight_bits: int,
+    transrow_bits: int,
+    n: int,
+    k: int,
+) -> ScatterGatherTables:
+    """Build the scatter/gather tables of one plan's packed TransRows.
+
+    ``packed`` is the plan's ``(chunks, N, S)`` array of ``T``-bit TransRow
+    values; the tables reference only the distinct nonzero values actually
+    present, so repeated masks (the prefix-reuse win) share one slot.
+    """
+    if packed.ndim != 3:
+        raise KernelLoweringError(
+            f"packed TransRows must be (chunks, N, S), got {packed.ndim}-D"
+        )
+    num_chunks, rows, planes = packed.shape
+    if rows != n or planes != weight_bits:
+        raise KernelLoweringError(
+            f"packed shape {packed.shape} disagrees with N={n}, S={weight_bits}"
+        )
+    width = transrow_bits
+    values = packed.astype(np.int64)
+    flat = values.reshape(-1)
+    chunk_of = np.repeat(
+        np.arange(num_chunks, dtype=np.int64), rows * planes
+    )
+    nonzero = np.flatnonzero(flat)
+    # One id per (chunk, value) pair; unique ids become the slots.
+    ids = chunk_of[nonzero] * (np.int64(1) << width) + flat[nonzero]
+    slot_ids, scatter_slot = np.unique(ids, return_inverse=True)
+    slot_chunk = slot_ids >> width
+    slot_value = slot_ids & ((np.int64(1) << width) - 1)
+
+    # Gather table: the set bits of each slot value address activation rows.
+    # Packed values place the first input row at the most-significant bit, so
+    # bit position b (LSB = 0) addresses row T - 1 - b of the chunk.
+    bit_positions = np.arange(width, dtype=np.int64)
+    bits = ((slot_value[:, None] >> bit_positions[None, :]) & 1).astype(bool)
+    col_for_bit = slot_chunk[:, None] * width + (width - 1 - bit_positions)[None, :]
+    gather_cols = col_for_bit[bits]  # row-major: grouped by slot
+    popcounts = bits.sum(axis=1, dtype=np.int64)
+    gather_indptr = np.zeros(slot_ids.shape[0] + 1, dtype=np.int64)
+    np.cumsum(popcounts, out=gather_indptr[1:])
+    if gather_cols.size and int(gather_cols.max()) >= k:
+        raise KernelLoweringError(
+            "packed TransRows reference padded weight columns; the plan's "
+            "packed values are inconsistent with its weight shape"
+        )
+
+    # Scatter table: one entry per nonzero TransRow, plane weight baked in.
+    plane_weights = bit_plane_weights(weight_bits)
+    entry_row = (nonzero // planes) % rows
+    entry_plane = nonzero % planes
+    tables = ScatterGatherTables(
+        n=n,
+        k=k,
+        weight_bits=weight_bits,
+        transrow_bits=width,
+        num_chunks=num_chunks,
+        slot_chunk=slot_chunk,
+        slot_value=slot_value,
+        gather_indptr=gather_indptr,
+        gather_cols=gather_cols,
+        scatter_row=entry_row,
+        scatter_slot=scatter_slot.astype(np.int64),
+        scatter_weight=plane_weights[entry_plane],
+    )
+    for array in (
+        tables.slot_chunk, tables.slot_value, tables.gather_indptr,
+        tables.gather_cols, tables.scatter_row, tables.scatter_slot,
+        tables.scatter_weight,
+    ):
+        array.setflags(write=False)
+    return tables
+
+
+def coo_stage_matrices(
+    tables: ScatterGatherTables,
+) -> Tuple[
+    Tuple[np.ndarray, np.ndarray, np.ndarray, Tuple[int, int]],
+    Tuple[np.ndarray, np.ndarray, np.ndarray, Tuple[int, int]],
+]:
+    """Both stages as raw COO triplets ``(data, rows, cols, shape)``.
+
+    Returns ``(gather, scatter)`` where the gather stage is the
+    ``(num_slots, padded_k)`` 0/1 matrix ``A`` and the scatter stage the
+    ``(N, num_slots)`` plane-weight matrix ``B``; sparse backends hand these
+    straight to their constructor and compose ``B @ A``.
+    """
+    padded_k = tables.num_chunks * tables.transrow_bits
+    gather_rows = np.repeat(
+        np.arange(tables.num_slots, dtype=np.int64),
+        np.diff(tables.gather_indptr),
+    )
+    gather = (
+        np.ones(tables.gather_entries, dtype=np.int64),
+        gather_rows,
+        tables.gather_cols,
+        (tables.num_slots, padded_k),
+    )
+    scatter = (
+        tables.scatter_weight,
+        tables.scatter_row,
+        tables.scatter_slot,
+        (tables.n, tables.num_slots),
+    )
+    return gather, scatter

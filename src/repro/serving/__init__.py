@@ -5,7 +5,9 @@ scoreboard* was designed for: compile once, serve forever.
 
 * :mod:`repro.serving.plan` — offline compilation of any
   :class:`~repro.workloads.gemm.GemmWorkload` into a :class:`ModelPlan`
-  (per-layer weights bit-sliced and scoreboarded once);
+  (per-layer weights bit-sliced, scoreboarded and lowered to flat
+  :mod:`repro.kernels` executors once, with :class:`CompileStats` recording
+  what that cost);
 * :mod:`repro.serving.request` / :mod:`repro.serving.queue` — future-style
   requests and the bounded admission-controlled queue;
 * :mod:`repro.serving.batcher` — the dynamic micro-batcher coalescing
@@ -21,7 +23,7 @@ scoreboard* was designed for: compile once, serve forever.
   :func:`repro.analysis.format_serving_report`.
 """
 
-from .plan import LayerPlan, ModelPlan, compile_workload
+from .plan import CompileStats, LayerPlan, ModelPlan, compile_workload
 from .request import Request
 from .queue import RequestQueue
 from .batcher import BatchExecution, MicroBatcher
@@ -31,6 +33,7 @@ from .report import ServingReport, build_report, percentile
 from .server import Server, ServerHealth
 
 __all__ = [
+    "CompileStats",
     "LayerPlan",
     "ModelPlan",
     "compile_workload",

@@ -12,8 +12,9 @@ artifact the online server executes requests against.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,6 +31,50 @@ from ..workloads.gemm import GemmShape, GemmWorkload
 #: Weight provider signature: given a layer's GEMM shape, return its (N, K)
 #: integer weights (same contract as the accelerator's provider).
 WeightProvider = Callable[[GemmShape], np.ndarray]
+
+
+@dataclass(frozen=True)
+class CompileStats:
+    """Offline-compilation statistics of one :class:`ModelPlan`.
+
+    Aggregated over every compiled layer at :func:`compile_workload` time and
+    carried on the plan; the serving report embeds them so an operator can see
+    what the offline phase cost and which kernel backends serve the model.
+    """
+
+    #: Compiled layer count.
+    num_layers: int
+    #: Total wall-clock seconds of offline compilation (plan + lowering).
+    compile_s: float
+    #: Seconds of ``compile_s`` spent lowering plans into flat kernels.
+    lowering_s: float
+    #: Bytes of compiled kernel state pinned across all layers.
+    kernel_bytes: int
+    #: Referenced gather slots summed across all lowered layers.
+    kernel_slots: int
+    #: Dense-lattice slot capacity summed across all lowered layers.
+    kernel_dense_slots: int
+    #: Scatter-stage entries summed across all lowered layers.
+    kernel_scatter_entries: int
+    #: Sorted distinct backend names serving the model's layers (empty when
+    #: compilation skipped lowering).
+    kernel_backends: Tuple[str, ...]
+    #: Per-layer compile seconds, in compilation order.
+    per_layer_compile_s: Dict[str, float]
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (embedded in serving reports/benches)."""
+        return {
+            "num_layers": self.num_layers,
+            "compile_s": self.compile_s,
+            "lowering_s": self.lowering_s,
+            "kernel_bytes": self.kernel_bytes,
+            "kernel_slots": self.kernel_slots,
+            "kernel_dense_slots": self.kernel_dense_slots,
+            "kernel_scatter_entries": self.kernel_scatter_entries,
+            "kernel_backends": list(self.kernel_backends),
+            "per_layer_compile_s": dict(self.per_layer_compile_s),
+        }
 
 
 @dataclass(frozen=True)
@@ -71,10 +116,12 @@ class ModelPlan:
         engine: TransitiveGemmEngine,
         layers: Sequence[LayerPlan],
         accelerator: Optional[TransitiveArrayAccelerator] = None,
+        compile_stats: Optional[CompileStats] = None,
     ) -> None:
         self.workload = workload
         self.engine = engine
         self.accelerator = accelerator
+        self.compile_stats = compile_stats
         self._oracle: Optional[TransitiveGemmEngine] = None
         self._oracle_lock = threading.Lock()
         self._layers: Dict[str, LayerPlan] = {}
@@ -154,11 +201,12 @@ class ModelPlan:
 
         The serving fault-tolerance fallback: when a fast-path micro-batch
         keeps failing, the server re-runs each member alone through the
-        scalar reference implementation (``fast=False``, no shared caches) —
-        the slowest but most independent execution path in the repo, and
-        bit-identical to the fast path by the engine's core invariant.  A
-        batch-poisoning request then fails alone instead of failing its
-        whole micro-batch.
+        scalar reference implementation (``fast=False``, no lowered kernels,
+        no shared caches) — the slowest but most independent execution path
+        in the repo, and bit-identical to the fast path by the engine's core
+        invariant.  A batch-poisoning request then fails alone instead of
+        failing its whole micro-batch, and a (hypothetically) miscompiled
+        kernel cannot poison the fallback.
         """
         layer = self.layer(layer_name)
         report = self._scalar_oracle().multiply(
@@ -176,6 +224,7 @@ class ModelPlan:
                     num_lanes=self.engine.num_lanes,
                     fast=False,
                     scoreboard_cache_entries=0,
+                    lower_plans=False,
                 )
             return self._oracle
 
@@ -186,6 +235,7 @@ def compile_workload(
     layer_names: Optional[Sequence[str]] = None,
     accelerator: Optional[TransitiveArrayAccelerator] = None,
     seed: int = 2025,
+    kernel_backend: Optional[str] = None,
 ) -> ModelPlan:
     """Compile a workload into a servable :class:`ModelPlan`, offline.
 
@@ -211,6 +261,10 @@ def compile_workload(
         model so the server can attribute per-request costs.
     seed:
         RNG seed for synthetic weight sampling.
+    kernel_backend:
+        Explicit kernel backend name for every layer's lowering (defaults to
+        the engine setting / ``REPRO_KERNEL_BACKEND`` / autoselection; see
+        :mod:`repro.kernels`).
     """
     shapes = list(workload.layers())
     if layer_names is not None:
@@ -233,6 +287,8 @@ def compile_workload(
         )
     rng = np.random.default_rng(seed)
     layers: List[LayerPlan] = []
+    per_layer_compile_s: Dict[str, float] = {}
+    compile_start = time.perf_counter()
     for shape in shapes:
         if weight_provider is not None:
             weight = np.asarray(weight_provider(shape))
@@ -243,11 +299,35 @@ def compile_workload(
                 )
         else:
             weight = workload.sample_weight(shape, rng)
-        gemm_plan = engine.plan(weight, shape.weight_bits)
+        layer_start = time.perf_counter()
+        gemm_plan = engine.plan(
+            weight, shape.weight_bits, kernel_backend=kernel_backend
+        )
+        per_layer_compile_s[shape.name] = time.perf_counter() - layer_start
         profile = accelerator.simulate_gemm(shape) if accelerator is not None else None
         layers.append(
             LayerPlan(shape=shape, gemm_plan=gemm_plan, profile=profile)
         )
+    kernels = [
+        layer.gemm_plan.kernel
+        for layer in layers
+        if layer.gemm_plan.kernel is not None
+    ]
+    stats = CompileStats(
+        num_layers=len(layers),
+        compile_s=time.perf_counter() - compile_start,
+        lowering_s=sum(k.lowering_s for k in kernels),
+        kernel_bytes=sum(k.kernel_bytes for k in kernels),
+        kernel_slots=sum(k.num_slots for k in kernels),
+        kernel_dense_slots=sum(k.dense_slots for k in kernels),
+        kernel_scatter_entries=sum(k.scatter_entries for k in kernels),
+        kernel_backends=tuple(sorted({k.backend for k in kernels})),
+        per_layer_compile_s=per_layer_compile_s,
+    )
     return ModelPlan(
-        workload=workload, engine=engine, layers=layers, accelerator=accelerator
+        workload=workload,
+        engine=engine,
+        layers=layers,
+        accelerator=accelerator,
+        compile_stats=stats,
     )

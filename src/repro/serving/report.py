@@ -15,6 +15,7 @@ from ..core.metrics import OpCounts
 from ..core.transitive_gemm import ScoreboardCacheInfo
 from ..energy.breakdown import EnergyBreakdown
 from ..errors import ServingError
+from .plan import CompileStats
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -65,6 +66,9 @@ class ServingReport:
     scoreboard_cache: Optional[ScoreboardCacheInfo] = None
     attributed_cycles: Optional[int] = None
     attributed_energy: Optional[EnergyBreakdown] = None
+    #: Offline-compilation statistics of the served plan (kernel backends,
+    #: lowering time, compiled bytes); ``None`` for pre-kernel plans.
+    compile_stats: Optional[CompileStats] = None
 
     @property
     def plan_hit_rate(self) -> float:
@@ -122,6 +126,8 @@ class ServingReport:
             summary["attributed_cycles"] = self.attributed_cycles
         if self.attributed_energy is not None:
             summary["attributed_energy_nj"] = self.attributed_energy.total_nj
+        if self.compile_stats is not None:
+            summary["compile_stats"] = self.compile_stats.as_dict()
         return summary
 
 
@@ -146,6 +152,7 @@ def build_report(
     num_retried: int = 0,
     num_degraded: int = 0,
     num_worker_restarts: int = 0,
+    compile_stats: Optional[CompileStats] = None,
 ) -> ServingReport:
     """Assemble a :class:`ServingReport` from raw serving-run samples.
 
@@ -189,4 +196,5 @@ def build_report(
         scoreboard_cache=scoreboard_cache,
         attributed_cycles=attributed_cycles,
         attributed_energy=attributed_energy,
+        compile_stats=compile_stats,
     )

@@ -671,4 +671,5 @@ class Server:
             num_retried=retried,
             num_degraded=degraded,
             num_worker_restarts=restarts,
+            compile_stats=getattr(self.plan, "compile_stats", None),
         )

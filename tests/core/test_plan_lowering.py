@@ -1,0 +1,142 @@
+"""Engine-level lowering: default path, overrides, and the kernel cache."""
+
+import numpy as np
+import pytest
+
+from repro.core import TransitiveGemmEngine
+from repro.errors import KernelLoweringError, SimulationError
+from repro.kernels import KERNEL_BACKEND_ENV
+
+
+def _weight(seed, n=16, k=12, bits=4):
+    rng = np.random.default_rng(seed)
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    return rng.integers(lo, hi + 1, size=(n, k), dtype=np.int64)
+
+
+def _activation(seed, k=12, m=4):
+    return np.random.default_rng(seed).integers(-64, 64, size=(k, m), dtype=np.int64)
+
+
+class TestLoweredDefault:
+    def test_plan_carries_a_kernel_by_default(self):
+        engine = TransitiveGemmEngine(transrow_bits=4)
+        plan = engine.plan(_weight(0), 4)
+        assert plan.kernel is not None
+        assert plan.kernel.n == plan.n
+        assert plan.kernel.k == plan.k
+
+    def test_lowered_execution_is_bit_identical(self):
+        engine = TransitiveGemmEngine(transrow_bits=4)
+        weight = _weight(1)
+        plan = engine.plan(weight, 4)
+        act = _activation(1)
+        expected = weight @ act
+        assert np.array_equal(engine.multiply_planned(plan, act).output, expected)
+        assert np.array_equal(
+            engine.multiply_planned(plan, act, lowered=False).output, expected
+        )
+
+    def test_multiply_many_executes_through_the_kernel(self):
+        engine = TransitiveGemmEngine(transrow_bits=4)
+        weight = _weight(2)
+        plan = engine.plan(weight, 4)
+        acts = [_activation(seed) for seed in (10, 11, 12)]
+        batched = engine.multiply_many(plan, acts)
+        for output, act in zip(batched.outputs, acts):
+            assert np.array_equal(output, weight @ act)
+
+    def test_op_counts_are_the_plans(self):
+        engine = TransitiveGemmEngine(transrow_bits=4)
+        plan = engine.plan(_weight(3), 4)
+        report = engine.multiply_planned(plan, _activation(3))
+        assert report.op_counts == plan.op_counts
+
+
+class TestLoweringControls:
+    def test_lower_false_skips_the_kernel(self):
+        engine = TransitiveGemmEngine(transrow_bits=4)
+        plan = engine.plan(_weight(4), 4, lower=False)
+        assert plan.kernel is None
+        # Execution falls back to the interpreted path transparently.
+        act = _activation(4)
+        assert np.array_equal(
+            engine.multiply_planned(plan, act).output, plan.weight @ act
+        )
+
+    def test_engine_wide_lowering_disable(self):
+        engine = TransitiveGemmEngine(transrow_bits=4, lower_plans=False)
+        assert engine.plan(_weight(5), 4).kernel is None
+        assert engine.plan(_weight(5), 4, lower=True).kernel is not None
+
+    def test_forcing_lowered_without_a_kernel_raises(self):
+        engine = TransitiveGemmEngine(transrow_bits=4)
+        plan = engine.plan(_weight(6), 4, lower=False)
+        with pytest.raises(SimulationError):
+            engine.multiply_planned(plan, _activation(6), lowered=True)
+
+    def test_engine_backend_setting_is_used(self):
+        engine = TransitiveGemmEngine(transrow_bits=4, kernel_backend="reference")
+        plan = engine.plan(_weight(7), 4)
+        assert plan.kernel.backend == "reference"
+        act = _activation(7)
+        assert np.array_equal(
+            engine.multiply_planned(plan, act).output, plan.weight @ act
+        )
+
+    def test_per_plan_backend_overrides_engine_setting(self):
+        engine = TransitiveGemmEngine(transrow_bits=4, kernel_backend="reference")
+        plan = engine.plan(_weight(8), 4, kernel_backend="dense-numpy")
+        assert plan.kernel.backend == "dense-numpy"
+
+    def test_env_var_overrides_autoselection(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_BACKEND_ENV, "reference")
+        engine = TransitiveGemmEngine(transrow_bits=4)
+        assert engine.plan(_weight(9), 4).kernel.backend == "reference"
+
+    def test_unknown_backend_raises(self):
+        engine = TransitiveGemmEngine(transrow_bits=4)
+        with pytest.raises(KernelLoweringError):
+            engine.plan(_weight(10), 4, kernel_backend="no-such-backend")
+
+    def test_invalid_kernel_cache_size_raises(self):
+        with pytest.raises(SimulationError):
+            TransitiveGemmEngine(kernel_cache_entries=-1)
+
+
+class TestKernelCache:
+    def test_replanning_hits_the_kernel_cache(self):
+        engine = TransitiveGemmEngine(transrow_bits=4, kernel_cache_entries=4)
+        weight = _weight(11)
+        first = engine.plan(weight, 4)
+        second = engine.plan(weight, 4)
+        info = engine.kernel_cache_info()
+        assert (info.hits, info.misses) == (1, 1)
+        # The cached kernel object itself is shared between the plans.
+        assert first.kernel is second.kernel
+
+    def test_backend_request_is_part_of_the_key(self):
+        engine = TransitiveGemmEngine(transrow_bits=4, kernel_cache_entries=4)
+        weight = _weight(12)
+        auto = engine.plan(weight, 4)
+        forced = engine.plan(weight, 4, kernel_backend="reference")
+        assert forced.kernel is not auto.kernel
+        assert engine.kernel_cache_info().misses == 2
+
+    def test_disabled_kernel_cache_still_lowers(self):
+        engine = TransitiveGemmEngine(transrow_bits=4, kernel_cache_entries=0)
+        plan = engine.plan(_weight(13), 4)
+        assert plan.kernel is not None
+        info = engine.kernel_cache_info()
+        assert (info.hits, info.misses, info.entries) == (0, 0, 0)
+
+    def test_lru_eviction(self):
+        engine = TransitiveGemmEngine(transrow_bits=4, kernel_cache_entries=2)
+        w1, w2, w3 = _weight(14), _weight(15), _weight(16)
+        engine.plan(w1, 4)
+        engine.plan(w2, 4)
+        engine.plan(w3, 4)  # evicts w1
+        engine.plan(w1, 4)  # must miss again
+        info = engine.kernel_cache_info()
+        assert info.misses == 4
+        assert info.entries == 2

@@ -1,0 +1,155 @@
+"""Backend exactness and the optional-scipy degradation contract."""
+
+import numpy as np
+import pytest
+
+import repro.kernels.backends as backends_module
+from repro.core import TransitiveGemmEngine
+from repro.errors import KernelLoweringError
+from repro.kernels import (
+    BackendRegistry,
+    KernelSpec,
+    default_registry,
+    lower_plan,
+    reset_scipy_cache,
+    scipy_available,
+)
+from repro.quant.schemes import SCHEME_REGISTRY
+
+ALL_BACKENDS = ["dense-numpy", "csr-scipy", "reference"]
+
+
+def _backends():
+    return [
+        name for name in ALL_BACKENDS
+        if name != "csr-scipy" or scipy_available()
+    ]
+
+
+def _plan(seed, n=18, k=14, bits=4, transrow_bits=4):
+    rng = np.random.default_rng(seed)
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    weight = rng.integers(lo, hi + 1, size=(n, k), dtype=np.int64)
+    engine = TransitiveGemmEngine(transrow_bits=transrow_bits)
+    return engine, engine.plan(weight, bits, lower=False)
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize("backend", _backends())
+    @pytest.mark.parametrize("bits", [2, 4, 8])
+    def test_lowered_matches_oracle_across_weight_bits(self, backend, bits):
+        engine, plan = _plan(bits, bits=bits)
+        kernel = lower_plan(plan, backend=backend)
+        rng = np.random.default_rng(100 + bits)
+        for m in (1, 3, 16):
+            act = rng.integers(-128, 128, size=(plan.k, m), dtype=np.int64)
+            expected = plan.weight @ act
+            assert np.array_equal(kernel.execute(act), expected)
+            # The interpreted planned path agrees, closing the triangle.
+            assert np.array_equal(
+                engine.multiply_planned(plan, act, lowered=False).output, expected
+            )
+
+    @pytest.mark.parametrize("backend", _backends())
+    @pytest.mark.parametrize("scheme", sorted(SCHEME_REGISTRY))
+    def test_lowered_matches_oracle_across_quant_schemes(self, backend, scheme):
+        # Real quantizer outputs (outliers, power-of-two values, pruned bit
+        # patterns) stress the tables far better than uniform noise.
+        rng = np.random.default_rng(sum(map(ord, scheme)))
+        weight_fp = rng.normal(0.0, 0.02, size=(24, 16))
+        quantized = SCHEME_REGISTRY[scheme](weight_fp)
+        # Outlier-coding schemes (OliVe) emit values past the nominal range;
+        # plan at whatever precision the emitted values actually need.
+        bits = max(
+            quantized.bits, int(np.abs(quantized.values).max()).bit_length() + 1
+        )
+        engine = TransitiveGemmEngine(transrow_bits=8)
+        plan = engine.plan(quantized.values, bits, lower=False)
+        kernel = lower_plan(plan, backend=backend)
+        act = rng.integers(-128, 128, size=(plan.k, 5), dtype=np.int64)
+        assert np.array_equal(kernel.execute(act), plan.weight @ act)
+
+    @pytest.mark.parametrize("backend", _backends())
+    def test_op_counts_ride_along_unchanged(self, backend):
+        engine, plan = _plan(7)
+        kernel = lower_plan(plan, backend=backend)
+        assert kernel.op_counts == plan.op_counts
+
+    def test_kernel_stats_are_serialisable(self):
+        _, plan = _plan(8)
+        kernel = lower_plan(plan, backend="dense-numpy")
+        stats = kernel.stats()
+        assert stats["backend"] == "dense-numpy"
+        assert stats["num_slots"] == kernel.num_slots
+        assert 0.0 <= stats["slot_density"] <= 1.0
+        assert stats["kernel_bytes"] > 0
+        assert stats["lowering_s"] >= 0.0
+
+    @pytest.mark.parametrize("backend", _backends())
+    def test_wrong_activation_shape_is_rejected(self, backend):
+        _, plan = _plan(9)
+        kernel = lower_plan(plan, backend=backend)
+        with pytest.raises(KernelLoweringError):
+            kernel.execute(np.zeros((plan.k + 1, 2), dtype=np.int64))
+        with pytest.raises(KernelLoweringError):
+            kernel.execute(np.zeros(plan.k, dtype=np.int64))
+
+
+class TestScipyDegradation:
+    @pytest.fixture()
+    def no_scipy(self, monkeypatch):
+        """Simulate a NumPy-only install for the duration of one test."""
+
+        def fail_import():
+            raise ImportError("scipy is not installed (simulated)")
+
+        reset_scipy_cache()
+        monkeypatch.setattr(backends_module, "_import_scipy_sparse", fail_import)
+        yield
+        reset_scipy_cache()
+
+    def test_scipy_absence_is_reported(self, no_scipy):
+        assert not scipy_available()
+        assert "csr-scipy" not in default_registry().available_names()
+
+    def test_autoselect_never_picks_csr_scipy_without_scipy(self, no_scipy):
+        registry = default_registry()
+        # Large + sparse is csr-scipy's best case; it must still fall back.
+        spec = KernelSpec(n=512, k=512, weight_bits=4, transrow_bits=8,
+                          density=0.1)
+        assert registry.select(spec).name == "dense-numpy"
+
+    def test_lowering_still_works_without_scipy(self, no_scipy):
+        _, plan = _plan(10)
+        kernel = lower_plan(plan)
+        assert kernel.backend == "dense-numpy"
+        act = np.arange(plan.k * 3, dtype=np.int64).reshape(plan.k, 3)
+        assert np.array_equal(kernel.execute(act), plan.weight @ act)
+
+    def test_forcing_csr_scipy_without_scipy_raises(self, no_scipy):
+        _, plan = _plan(11)
+        with pytest.raises(KernelLoweringError):
+            lower_plan(plan, backend="csr-scipy")
+
+    def test_engine_lowers_through_fallback_without_scipy(self, no_scipy):
+        engine = TransitiveGemmEngine(transrow_bits=4)
+        rng = np.random.default_rng(12)
+        weight = rng.integers(-8, 8, size=(16, 12), dtype=np.int64)
+        plan = engine.plan(weight, 4)
+        assert plan.kernel is not None
+        assert plan.kernel.backend == "dense-numpy"
+        act = rng.integers(-64, 64, size=(12, 4), dtype=np.int64)
+        assert np.array_equal(
+            engine.multiply_planned(plan, act).output, weight @ act
+        )
+
+
+class TestCustomRegistry:
+    def test_lower_plan_accepts_a_private_registry(self):
+        _, plan = _plan(13)
+        registry = BackendRegistry()
+        from repro.kernels import DenseNumpyBackend
+
+        registry.register(DenseNumpyBackend())
+        kernel = lower_plan(plan, registry=registry)
+        assert kernel.backend == "dense-numpy"

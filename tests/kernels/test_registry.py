@@ -1,0 +1,159 @@
+"""Backend registry: registration, override precedence, autoselection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelLoweringError
+from repro.kernels import (
+    KERNEL_BACKEND_ENV,
+    BackendRegistry,
+    CompiledExecutor,
+    CsrScipyBackend,
+    DenseNumpyBackend,
+    KernelBackend,
+    KernelSpec,
+    ReferenceBackend,
+    default_registry,
+    scipy_available,
+)
+
+
+def _spec(n=64, k=64, density=0.5):
+    return KernelSpec(n=n, k=k, weight_bits=4, transrow_bits=8, density=density)
+
+
+class _FakeBackend(KernelBackend):
+    """Configurable stub backend for selection tests."""
+
+    def __init__(self, name, available=True, score=1.0, autoselectable=True,
+                 supports=True):
+        self.name = name
+        self.autoselectable = autoselectable
+        self._available = available
+        self._score = score
+        self._supports = supports
+
+    def available(self):
+        return self._available
+
+    def supports(self, spec):
+        return self._available and self._supports
+
+    def score(self, spec):
+        return self._score
+
+    def lower(self, plan, tables, spec, interpreter=None):
+        return CompiledExecutor(execute=lambda act: act, kernel_bytes=0)
+
+
+class TestRegistration:
+    def test_duplicate_name_is_rejected(self):
+        registry = BackendRegistry()
+        registry.register(_FakeBackend("one"))
+        with pytest.raises(KernelLoweringError):
+            registry.register(_FakeBackend("one"))
+        registry.register(_FakeBackend("one", score=2.0), replace=True)
+        assert registry.get("one").score(_spec()) == 2.0
+
+    def test_unnamed_backend_is_rejected(self):
+        with pytest.raises(KernelLoweringError):
+            BackendRegistry().register(_FakeBackend(""))
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(KernelLoweringError):
+            BackendRegistry().get("missing")
+
+    def test_default_registry_holds_the_builtins(self):
+        names = default_registry().names()
+        assert names == ["dense-numpy", "csr-scipy", "reference"]
+
+
+class TestAutoselection:
+    def test_highest_score_wins(self):
+        registry = BackendRegistry()
+        registry.register(_FakeBackend("slow", score=1.0))
+        registry.register(_FakeBackend("fast", score=9.0))
+        assert registry.select(_spec()).name == "fast"
+
+    def test_ties_keep_registration_order(self):
+        registry = BackendRegistry()
+        registry.register(_FakeBackend("first", score=5.0))
+        registry.register(_FakeBackend("second", score=5.0))
+        assert registry.select(_spec()).name == "first"
+
+    def test_unavailable_and_nonautoselectable_are_skipped(self):
+        registry = BackendRegistry()
+        registry.register(_FakeBackend("gone", available=False, score=99.0))
+        registry.register(_FakeBackend("manual", autoselectable=False, score=99.0))
+        registry.register(_FakeBackend("ok", score=1.0))
+        assert registry.select(_spec()).name == "ok"
+
+    def test_no_candidate_raises(self):
+        registry = BackendRegistry()
+        registry.register(_FakeBackend("gone", available=False))
+        with pytest.raises(KernelLoweringError):
+            registry.select(_spec())
+
+    def test_reference_is_never_autoselected(self):
+        # Whatever the spec, the interpreted oracle must be explicit opt-in.
+        registry = default_registry()
+        for density in (0.01, 0.5, 1.0):
+            for n in (4, 64, 512):
+                assert registry.select(_spec(n=n, k=n, density=density)).name \
+                    != "reference"
+
+    def test_tiny_kernels_prefer_dense_numpy(self):
+        assert default_registry().select(_spec(n=8, k=8)).name == "dense-numpy"
+
+    @pytest.mark.skipif(not scipy_available(), reason="scipy not installed")
+    def test_large_kernels_prefer_csr_scipy(self):
+        assert default_registry().select(_spec(n=512, k=512)).name == "csr-scipy"
+
+
+class TestOverrides:
+    def test_explicit_override_beats_scores(self):
+        registry = BackendRegistry()
+        registry.register(_FakeBackend("fast", score=9.0))
+        registry.register(_FakeBackend("manual", autoselectable=False))
+        assert registry.select(_spec(), override="manual").name == "manual"
+
+    def test_env_var_forces_backend(self, monkeypatch):
+        registry = BackendRegistry()
+        registry.register(_FakeBackend("fast", score=9.0))
+        registry.register(_FakeBackend("slow", score=1.0))
+        monkeypatch.setenv(KERNEL_BACKEND_ENV, "slow")
+        assert registry.select(_spec()).name == "slow"
+        # The argument override still beats the environment.
+        assert registry.select(_spec(), override="fast").name == "fast"
+
+    def test_forced_unavailable_backend_raises(self):
+        registry = BackendRegistry()
+        registry.register(_FakeBackend("gone", available=False))
+        registry.register(_FakeBackend("ok"))
+        with pytest.raises(KernelLoweringError):
+            registry.select(_spec(), override="gone")
+
+    def test_forced_unsupported_backend_raises(self):
+        registry = BackendRegistry()
+        registry.register(_FakeBackend("narrow", supports=False))
+        with pytest.raises(KernelLoweringError):
+            registry.select(_spec(), override="narrow")
+
+    def test_forced_unknown_backend_raises(self):
+        with pytest.raises(KernelLoweringError):
+            default_registry().select(_spec(), override="no-such-backend")
+
+
+class TestBuiltinDeclarations:
+    def test_names_and_flags(self):
+        assert DenseNumpyBackend().name == "dense-numpy"
+        assert CsrScipyBackend().name == "csr-scipy"
+        assert ReferenceBackend().name == "reference"
+        assert DenseNumpyBackend().autoselectable
+        assert CsrScipyBackend().autoselectable
+        assert not ReferenceBackend().autoselectable
+        assert DenseNumpyBackend().available()
+        assert ReferenceBackend().available()
+
+    def test_spec_cells(self):
+        assert _spec(n=3, k=7).cells == 21

@@ -1,0 +1,89 @@
+"""Scatter/gather lowering tables: exact composition and structural checks."""
+
+import numpy as np
+import pytest
+
+from repro.core import TransitiveGemmEngine
+from repro.errors import KernelLoweringError
+from repro.kernels import build_tables, coo_stage_matrices, lowering_tables
+
+
+def _plan(seed, n, k, bits, transrow_bits=4):
+    rng = np.random.default_rng(seed)
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    weight = rng.integers(lo, hi + 1, size=(n, k), dtype=np.int64)
+    engine = TransitiveGemmEngine(transrow_bits=transrow_bits)
+    return engine.plan(weight, bits, lower=False)
+
+
+class TestComposition:
+    @pytest.mark.parametrize("bits", [2, 4, 8])
+    @pytest.mark.parametrize("shape", [(7, 5), (16, 16), (33, 17)])
+    def test_composed_matrix_equals_weight(self, bits, shape):
+        # The whole lowering model in one invariant: scatter ∘ gather is a
+        # linear map whose dense matrix is exactly the planned weight.
+        plan = _plan(0, shape[0], shape[1], bits)
+        tables = lowering_tables(plan)
+        assert np.array_equal(tables.compose_dense(), plan.weight)
+
+    def test_composition_with_padding_chunk(self):
+        # K not a multiple of transrow_bits exercises the zero-padded tail.
+        plan = _plan(1, 9, 13, 4, transrow_bits=8)
+        tables = lowering_tables(plan)
+        assert np.array_equal(tables.compose_dense(), plan.weight)
+
+    def test_all_zero_weight_lowers_to_empty_tables(self):
+        engine = TransitiveGemmEngine(transrow_bits=4)
+        plan = engine.plan(np.zeros((6, 8), dtype=np.int64), 4, lower=False)
+        tables = lowering_tables(plan)
+        assert tables.num_slots == 0
+        assert tables.scatter_entries == 0
+        assert np.array_equal(tables.compose_dense(), plan.weight)
+
+
+class TestStructure:
+    def test_counts_and_density(self):
+        plan = _plan(2, 12, 12, 4)
+        tables = lowering_tables(plan)
+        assert 0 < tables.num_slots <= tables.dense_slots
+        assert tables.slot_density == tables.num_slots / tables.dense_slots
+        # One scatter entry per nonzero packed TransRow.
+        assert tables.scatter_entries == int(np.count_nonzero(plan.packed))
+        # Every gather column addresses a real activation row.
+        assert tables.gather_cols.size == 0 or tables.gather_cols.max() < tables.k
+
+    def test_tables_are_read_only(self):
+        tables = lowering_tables(_plan(3, 8, 8, 4))
+        for array in (
+            tables.slot_chunk,
+            tables.slot_value,
+            tables.gather_indptr,
+            tables.gather_cols,
+            tables.scatter_row,
+            tables.scatter_slot,
+            tables.scatter_weight,
+        ):
+            with pytest.raises(ValueError):
+                array[...] = 0
+
+    def test_coo_stage_matrices_compose_like_dense(self):
+        plan = _plan(4, 10, 14, 4)
+        tables = lowering_tables(plan)
+        (a_data, a_rows, a_cols, a_shape), (b_data, b_rows, b_cols, b_shape) = (
+            coo_stage_matrices(tables)
+        )
+        # np.add.at: scatter coordinates repeat when two bit planes of one
+        # row share a TransRow value, so plain fancy-index += would drop them.
+        gather = np.zeros(a_shape, dtype=np.int64)
+        np.add.at(gather, (a_rows, a_cols), a_data)
+        scatter = np.zeros(b_shape, dtype=np.int64)
+        np.add.at(scatter, (b_rows, b_cols), b_data)
+        composed = (scatter @ gather)[:, : tables.k]
+        assert np.array_equal(composed, plan.weight)
+
+    def test_out_of_range_k_is_rejected(self):
+        plan = _plan(5, 8, 8, 4)
+        with pytest.raises(KernelLoweringError):
+            # Claiming fewer activation rows than the packed chunks address
+            # must fail loudly instead of silently truncating the reduction.
+            build_tables(plan.packed, plan.weight_bits, plan.transrow_bits, 8, 2)

@@ -1,0 +1,118 @@
+"""Serving-side kernel plumbing: compile stats, reports, degraded bypass."""
+
+import numpy as np
+import pytest
+
+from repro.core import TransitiveGemmEngine
+from repro.serving import CompileStats, Server, compile_workload
+from repro.workloads import synthetic_gemm_workload
+
+
+def _workload(num_layers=2, n=24, k=20, m=8, weight_bits=4):
+    return synthetic_gemm_workload(
+        num_layers=num_layers, n=n, k=k, m=m, weight_bits=weight_bits,
+        name="kernel-serving",
+    )
+
+
+class TestCompileStats:
+    def test_compile_workload_records_stats(self):
+        plan = compile_workload(_workload())
+        stats = plan.compile_stats
+        assert isinstance(stats, CompileStats)
+        assert stats.num_layers == 2
+        assert stats.compile_s > 0.0
+        assert 0.0 <= stats.lowering_s <= stats.compile_s
+        assert stats.kernel_bytes > 0
+        assert stats.kernel_slots > 0
+        assert stats.kernel_backends  # every layer lowered through a backend
+        assert set(stats.per_layer_compile_s) == {"layer0", "layer1"}
+
+    def test_every_layer_carries_a_lowered_kernel(self):
+        plan = compile_workload(_workload())
+        for name in plan.layer_names():
+            kernel = plan.layer(name).gemm_plan.kernel
+            assert kernel is not None
+            assert kernel.backend in plan.compile_stats.kernel_backends
+
+    def test_explicit_backend_reaches_every_layer(self):
+        plan = compile_workload(_workload(), kernel_backend="reference")
+        assert plan.compile_stats.kernel_backends == ("reference",)
+
+    def test_unlowered_compilation_reports_no_backends(self):
+        engine = TransitiveGemmEngine(transrow_bits=8, lower_plans=False)
+        plan = compile_workload(_workload(), engine=engine)
+        stats = plan.compile_stats
+        assert stats.kernel_backends == ()
+        assert stats.kernel_bytes == 0
+        assert stats.lowering_s == 0.0
+
+    def test_as_dict_round_trips_the_bench_schema(self):
+        stats = compile_workload(_workload()).compile_stats.as_dict()
+        assert set(stats) == {
+            "num_layers", "compile_s", "lowering_s", "kernel_bytes",
+            "kernel_slots", "kernel_dense_slots", "kernel_scatter_entries",
+            "kernel_backends", "per_layer_compile_s",
+        }
+        assert isinstance(stats["kernel_backends"], list)
+
+
+class TestServingReport:
+    def test_report_embeds_compile_stats(self):
+        plan = compile_workload(_workload(num_layers=1))
+        rng = np.random.default_rng(0)
+        with Server(plan, num_workers=1, max_batch=4) as server:
+            futures = [
+                server.submit(
+                    "layer0",
+                    rng.integers(-8, 8, size=(20, 1), dtype=np.int64),
+                )
+                for _ in range(8)
+            ]
+            for future in futures:
+                future.result(timeout=10.0)
+            report = server.report()
+        assert report.compile_stats is plan.compile_stats
+        summary = report.as_dict()
+        assert summary["compile_stats"]["num_layers"] == 1
+        rendered = report.render()
+        assert "kernel backends" in rendered
+        assert "offline compile" in rendered
+
+    def test_lowered_and_oracle_serving_agree(self):
+        plan = compile_workload(_workload(num_layers=1))
+        rng = np.random.default_rng(1)
+        act = rng.integers(-8, 8, size=(20, 3), dtype=np.int64)
+        lowered = plan.run("layer0", act)
+        degraded = plan.run_degraded("layer0", act)
+        assert np.array_equal(lowered, degraded)
+        assert np.array_equal(lowered, plan.layer("layer0").weight @ act)
+
+
+class TestDegradedBypass:
+    def test_degraded_fallback_never_touches_the_kernel(self):
+        # Booby-trap every lowered kernel: if the degraded path executed one,
+        # it would blow up — the oracle must stay fully independent.
+        plan = compile_workload(_workload(num_layers=1))
+        layer = plan.layer("layer0")
+        assert layer.gemm_plan.kernel is not None
+
+        def boom(activation):
+            raise AssertionError("degraded path executed a lowered kernel")
+
+        original = layer.gemm_plan.kernel._execute
+        layer.gemm_plan.kernel._execute = boom
+        try:
+            rng = np.random.default_rng(2)
+            act = rng.integers(-8, 8, size=(20, 2), dtype=np.int64)
+            output = plan.run_degraded("layer0", act)
+            assert np.array_equal(output, layer.weight @ act)
+            with pytest.raises(AssertionError):
+                plan.run("layer0", act)  # the fast path *does* use the kernel
+        finally:
+            layer.gemm_plan.kernel._execute = original
+
+    def test_scalar_oracle_engine_does_not_lower(self):
+        plan = compile_workload(_workload(num_layers=1))
+        oracle = plan._scalar_oracle()
+        assert oracle.lower_plans is False
