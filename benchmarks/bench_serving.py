@@ -22,16 +22,28 @@ every output bit-identical to ``weight @ activation``; ``--check`` also
 applies generous regression bounds (throughput floor, p99 ceiling) against
 the checked-in baseline JSON of the same scale and exits non-zero on failure.
 
+``--processes [N]`` benchmarks the GIL-free process-sharded tier instead:
+the same request mix served by ``execution="threads"`` and then by
+``execution="processes"`` with N shard processes (default: all cores), both
+measured after warm-up and bit-verified.  Writes ``BENCH_serving_mp.json``
+(or ``_mp_smoke``); the ``--check`` speedup gate is core-count aware —
+process-vs-thread speedup must reach 1.5x on >= 2 cores (smoke and full)
+and 3x for the full scale on >= 4 cores, and is recorded but not gated on
+a single-core machine, where no parallel tier can win.
+
 ``--faults smoke`` runs the chaos smoke scenario instead: a synthetic
 two-layer plan served under seeded injected engine faults, latency and a
 scripted worker crash.  It writes ``BENCH_serving_faults.json`` and gates
 that **availability** — the fraction of (non-injected) client requests that
 still complete bit-identically via retry or the degraded oracle — stays
->= 99%.
+>= 99%.  Combine with ``--processes`` to run the same chaos gate against
+the process tier (crashes then kill real worker processes; writes
+``BENCH_serving_faults_mp.json``).
 """
 
 import argparse
 import json
+import os
 import time
 from pathlib import Path
 
@@ -52,6 +64,7 @@ from repro.workloads import llama_fc_gemms, synthetic_gemm_workload  # noqa: E40
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 FAULTS_OUTPUT_PATH = REPO_ROOT / "BENCH_serving_faults.json"
+FAULTS_MP_OUTPUT_PATH = REPO_ROOT / "BENCH_serving_faults_mp.json"
 #: Chaos gate: fraction of client requests that must still succeed.
 AVAILABILITY_GATE = 0.99
 #: Absolute floor: batched serving vs the sequential single-GEMM loop.
@@ -59,6 +72,11 @@ SPEEDUP_GATE = 2.0
 #: Regression bounds vs the checked-in baseline (generous — CI varies).
 RPS_REGRESSION_FACTOR = 0.25
 P99_REGRESSION_FACTOR = 4.0
+#: Process-vs-thread speedup gates, keyed by the cores they require.  On a
+#: single core no parallel tier can win, so the speedup is recorded
+#: ungated; the full scale on a >= 4-core machine must reach 3x.
+MP_SPEEDUP_GATE_2CORE = 1.5
+MP_SPEEDUP_GATE_4CORE_FULL = 3.0
 
 NUM_REQUESTS = 64
 MAX_BATCH = 16
@@ -72,9 +90,20 @@ SCALES = {
     "smoke": {"suffix": "_smoke", "model": "serving-smoke", "layer": "layer0"},
 }
 
+#: Activation columns per request in the process-tier comparison.  The MP
+#: smoke layer is also larger (512x512) than the thread-bench smoke layer:
+#: the tiers only differ under compute-bound load — with microsecond batches
+#: every tier just measures queue overhead and no speedup gate is winnable.
+MP_COLUMNS = 4
+MP_SMOKE_N = 512
+
 
 def output_path(scale: str) -> Path:
     return REPO_ROOT / f"BENCH_serving{SCALES[scale]['suffix']}.json"
+
+
+def mp_output_path(scale: str) -> Path:
+    return REPO_ROOT / f"BENCH_serving_mp{SCALES[scale]['suffix']}.json"
 
 
 def _workload(scale: str):
@@ -187,6 +216,155 @@ def check(results: dict, baseline: dict) -> list:
     return failures
 
 
+# --------------------------------------------------------- process sharding
+def _measure_rps(plan, layer_name, execution, num_workers, activations):
+    """Throughput of one execution tier over a fixed request mix.
+
+    Every worker/shard is warmed first (thread mode: LRU caches; process
+    mode: plan unpickling and lazy kernel recompilation in the children), so
+    the timed window measures steady-state serving, not cold start.  Every
+    output is verified bit-identical before the rate is returned.
+    """
+    layer = plan.layer(layer_name)
+    with Server(
+        plan, num_workers=num_workers, max_batch=MAX_BATCH,
+        max_pending=len(activations) + 2 * num_workers, execution=execution,
+    ) as server:
+        warmup = [
+            server.submit(layer_name, activations[0])
+            for _ in range(2 * num_workers)
+        ]
+        for request in warmup:
+            request.result(timeout=600.0)
+        start = time.perf_counter()
+        requests = [server.submit(layer_name, act) for act in activations]
+        outputs = [request.result(timeout=600.0) for request in requests]
+        elapsed = time.perf_counter() - start
+    for activation, output in zip(activations, outputs):
+        assert np.array_equal(output, layer.weight @ activation)
+    return len(activations) / elapsed, server.report()
+
+
+def mp_speedup_gate(scale: str, cpu_count: int):
+    """Core-count-aware process-vs-thread gate; ``None`` = record, no gate."""
+    if cpu_count >= 4 and scale == "full":
+        return MP_SPEEDUP_GATE_4CORE_FULL
+    if cpu_count >= 2:
+        return MP_SPEEDUP_GATE_2CORE
+    return None
+
+
+def _compile_mp_plan(scale: str):
+    """The process-tier scenario plan (a heavier smoke layer; see MP_SMOKE_N)."""
+    if scale == "full":
+        return _compile_plan("full")
+    workload = synthetic_gemm_workload(
+        num_layers=1, n=MP_SMOKE_N, k=MP_SMOKE_N, m=1, weight_bits=WEIGHT_BITS,
+        name="serving-mp-smoke",
+    )
+    start = time.perf_counter()
+    plan = compile_workload(workload, layer_names=["layer0"], seed=42)
+    return plan, time.perf_counter() - start
+
+
+def run_mp(scale: str = "full", shards: int = 0, write: bool = True) -> dict:
+    """Thread-tier vs process-tier serving throughput on the same plan."""
+    config = SCALES[scale]
+    cpu_count = os.cpu_count() or 1
+    shards = shards or cpu_count
+    plan, compile_s = _compile_mp_plan(scale)
+    layer = plan.layer(config["layer"])
+    rng = np.random.default_rng(7)
+    activations = [
+        rng.integers(-128, 128, size=(layer.shape.k, MP_COLUMNS), dtype=np.int64)
+        for _ in range(NUM_REQUESTS)
+    ]
+    # Same worker count for both tiers: the comparison isolates the GIL, not
+    # the pool size.
+    threaded_rps, threaded_report = _measure_rps(
+        plan, config["layer"], "threads", shards, activations
+    )
+    process_rps, process_report = _measure_rps(
+        plan, config["layer"], "processes", shards, activations
+    )
+    results = {
+        "benchmark": "bench_serving_mp",
+        "scale": scale,
+        "bit_identical": True,  # _measure_rps asserted every output
+        "model": plan.name,
+        "layer": config["layer"],
+        "weight_bits": WEIGHT_BITS,
+        "columns_per_request": MP_COLUMNS,
+        "num_requests": NUM_REQUESTS,
+        "max_batch": MAX_BATCH,
+        "num_shards": shards,
+        "cpu_count": cpu_count,
+        "compile_s": compile_s,
+        "threaded_rps": threaded_rps,
+        "process_rps": process_rps,
+        "speedup_vs_threads": process_rps / threaded_rps,
+        "speedup_gate": mp_speedup_gate(scale, cpu_count),
+        "threaded": threaded_report.as_dict(),
+        "process": process_report.as_dict(),
+    }
+    if write:
+        mp_output_path(scale).write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def check_mp(results: dict, baseline: dict) -> list:
+    """Gate a process-tier run: core-aware speedup + regression floor."""
+    failures = []
+    gate = results["speedup_gate"]
+    speedup = results["speedup_vs_threads"]
+    if gate is not None and speedup < gate:
+        failures.append(
+            f"process tier is only {speedup:.2f}x the threaded tier on "
+            f"{results['cpu_count']} cores (gate {gate:.1f}x)"
+        )
+    if results["process"]["shm_fallbacks"] > 0:
+        failures.append(
+            f"{results['process']['shm_fallbacks']} batches fell back to "
+            f"pickle transport; ring slots are undersized for this scenario"
+        )
+    baseline_rps = baseline.get("process_rps")
+    if baseline_rps is not None:
+        floor = RPS_REGRESSION_FACTOR * baseline_rps
+        if results["process_rps"] < floor:
+            failures.append(
+                f"process-tier throughput regressed: "
+                f"{results['process_rps']:.0f} req/s vs baseline "
+                f"{baseline_rps:.0f} req/s (floor {floor:.0f})"
+            )
+    return failures
+
+
+def mp_main(scale: str, shards: int, do_check: bool) -> None:
+    baseline = {}
+    if do_check and mp_output_path(scale).exists():
+        baseline = json.loads(mp_output_path(scale).read_text())
+    results = run_mp(scale=scale, shards=shards, write=True)
+    gate = results["speedup_gate"]
+    print(f"[{scale}] {results['model']} {results['layer']}: "
+          f"{results['num_shards']} shards on {results['cpu_count']} cores")
+    print(f"threaded : {results['threaded_rps']:.1f} req/s")
+    print(f"processes: {results['process_rps']:.1f} req/s "
+          f"-> {results['speedup_vs_threads']:.2f}x "
+          f"(gate {'none (single core)' if gate is None else f'{gate:.1f}x'})")
+    shard_rows = results["process"].get("shards", [])
+    for row in shard_rows:
+        print(f"  shard[{row['shard']}]: {row['batches']} batches, "
+              f"{row['utilization']:.1%} compute utilization")
+    print(f"wrote {mp_output_path(scale)}")
+    if do_check:
+        failures = check_mp(results, baseline)
+        for failure in failures:
+            print(f"GATE FAILED: {failure}")
+        if failures:
+            raise SystemExit(1)
+        print(f"[{scale}] all process-tier gates passed")
+
+
 def test_batched_serving_2x_sequential():
     """Tier-2 gate: batched serving >= 2x the sequential single-GEMM loop."""
     results = run(scale="full", write=True)
@@ -196,12 +374,15 @@ def test_batched_serving_2x_sequential():
     assert results["compile_stats"]["kernel_backends"]
 
 
-def run_chaos_smoke(write: bool = True) -> dict:
+def run_chaos_smoke(write: bool = True, execution: str = "threads") -> dict:
     """Seeded chaos smoke run: serve a synthetic plan under injected faults.
 
     Availability counts every client request (none are "injected" — faults
     target the serving infrastructure, not requests) that completes with an
-    output bit-identical to ``weight @ activation``.
+    output bit-identical to ``weight @ activation``.  Under
+    ``execution="processes"`` the scripted crash kills a real worker
+    process per shard (each shard runs its own decorrelated injector
+    clone), exercising process supervision and in-flight requeue.
     """
     num_requests = 128
     workload = synthetic_gemm_workload(
@@ -223,6 +404,7 @@ def run_chaos_smoke(write: bool = True) -> dict:
         retry_policy=RetryPolicy(max_attempts=3, backoff_base_s=0.001),
         faults=faults,
         max_worker_restarts=4,
+        execution=execution,
     )
     rng = np.random.default_rng(11)
     succeeded = 0
@@ -241,31 +423,49 @@ def run_chaos_smoke(write: bool = True) -> dict:
                 succeeded += 1
     report = server.report()
     stats = faults.stats()
-    results = {
-        "benchmark": "bench_serving_faults",
-        "scenario": "smoke",
-        "num_requests": num_requests,
-        "availability": succeeded / num_requests,
-        "availability_gate": AVAILABILITY_GATE,
-        "injected": {
+    if execution == "processes":
+        # The parent's injector stays quiet in process mode (each shard runs
+        # its own clone, whose counters die with the child); report what the
+        # parent observed instead.
+        injected = {
+            "engine_faults": None,
+            "worker_crashes": sum(s["restarts"] for s in
+                                  report.as_dict().get("shards", [])),
+            "delays": None,
+            "delay_total_s": None,
+        }
+    else:
+        injected = {
             "engine_faults": stats.engine_faults,
             "worker_crashes": stats.worker_crashes,
             "delays": stats.delays,
             "delay_total_s": stats.delay_total_s,
-        },
+        }
+    results = {
+        "benchmark": "bench_serving_faults",
+        "scenario": "smoke",
+        "execution": execution,
+        "num_requests": num_requests,
+        "availability": succeeded / num_requests,
+        "availability_gate": AVAILABILITY_GATE,
+        "injected": injected,
         "serving": report.as_dict(),
         "health": server.health().as_dict(),
     }
     if write:
-        FAULTS_OUTPUT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+        path = (
+            FAULTS_MP_OUTPUT_PATH if execution == "processes"
+            else FAULTS_OUTPUT_PATH
+        )
+        path.write_text(json.dumps(results, indent=2) + "\n")
     return results
 
 
-def chaos_main() -> None:
-    results = run_chaos_smoke(write=True)
+def chaos_main(execution: str = "threads") -> None:
+    results = run_chaos_smoke(write=True, execution=execution)
     injected = results["injected"]
     serving = results["serving"]
-    print(f"chaos smoke: {results['num_requests']} requests, "
+    print(f"chaos smoke [{execution}]: {results['num_requests']} requests, "
           f"{injected['engine_faults']} injected engine faults, "
           f"{injected['worker_crashes']} worker crashes, "
           f"{injected['delays']} delays")
@@ -274,7 +474,10 @@ def chaos_main() -> None:
           f"{serving['num_worker_restarts']} worker restarts")
     print(f"availability: {results['availability']:.1%} "
           f"(gate >= {AVAILABILITY_GATE:.0%})")
-    print(f"wrote {FAULTS_OUTPUT_PATH}")
+    path = (
+        FAULTS_MP_OUTPUT_PATH if execution == "processes" else FAULTS_OUTPUT_PATH
+    )
+    print(f"wrote {path}")
     if results["availability"] < AVAILABILITY_GATE:
         raise SystemExit(
             f"availability {results['availability']:.3f} is below the "
@@ -320,9 +523,25 @@ def main() -> None:
         help="run the seeded chaos scenario (availability gate) instead of "
              "the throughput benchmark",
     )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        nargs="?",
+        const=0,
+        default=None,
+        metavar="N",
+        help="benchmark the process-sharded tier with N worker processes "
+             "(default: all cores) against the threaded tier; with "
+             "--faults smoke, runs the chaos gate under process execution",
+    )
     args = parser.parse_args()
     if args.faults == "smoke":
-        chaos_main()
+        chaos_main(
+            execution="processes" if args.processes is not None else "threads"
+        )
+        return
+    if args.processes is not None:
+        mp_main(args.scale, args.processes, args.check)
         return
     baseline = {}
     if args.check and output_path(args.scale).exists():

@@ -102,4 +102,23 @@ def format_serving_report(report: "ServingReport") -> str:
                                 f"({stats.lowering_s * 1e3:.1f} ms lowering)")
         )
         rows.append(("compiled kernel size", f"{stats.kernel_bytes / 1024:.1f} KiB"))
+    rows.append(("execution tier", report.execution))
+    if report.shards:
+        rows.append(
+            ("queue wait vs compute",
+             f"{report.queue_wait_s_total:.3f} s queued / "
+             f"{report.compute_s_total:.3f} s compute / "
+             f"{report.dispatch_s_total:.3f} s dispatch "
+             f"({report.compute_fraction:.1%} compute)")
+        )
+        if report.shm_fallbacks:
+            rows.append(("shm fallbacks (pickle transport)", report.shm_fallbacks))
+        for shard in report.shards:
+            detail = (
+                f"{shard.batches} batches / {shard.requests} reqs / "
+                f"{shard.utilization:.1%} util"
+            )
+            if shard.restarts:
+                detail += f" / {shard.restarts} restarts"
+            rows.append((f"shard[{shard.shard}]", detail))
     return format_table(["metric", "value"], rows)

@@ -279,6 +279,29 @@ class TransitiveGemmEngine:
         self._cache = _StaticScoreboardCache(scoreboard_cache_entries)
         self._kernel_cache = _StaticScoreboardCache(kernel_cache_entries)
 
+    # ------------------------------------------------------------- pickling
+    def __getstate__(self) -> Dict[str, object]:
+        """Spawn-safe pickled form: configuration only, no caches or locks.
+
+        The LRU caches hold ``threading.Lock`` objects (unpicklable) and
+        per-process state anyway; a process-sharded serving tier pickles the
+        engine alongside its :class:`GemmPlan` replicas, so the caches are
+        rebuilt empty in the child and warm up as the shard serves.
+        """
+        return {
+            "transrow_bits": self.transrow_bits,
+            "max_distance": self.max_distance,
+            "num_lanes": self.num_lanes,
+            "fast": self.fast,
+            "lower_plans": self.lower_plans,
+            "kernel_backend": self.kernel_backend,
+            "scoreboard_cache_entries": self._cache.max_entries,
+            "kernel_cache_entries": self._kernel_cache.max_entries,
+        }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__init__(**state)  # type: ignore[misc]
+
     # ------------------------------------------------------------------ API
     def multiply(
         self,

@@ -16,12 +16,14 @@ a lowered kernel carries the plan's exact :class:`~repro.core.metrics.OpCounts`
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 import numpy as np
 
+from ..errors import KernelLoweringError
 from .registry import BackendRegistry, KernelSpec, global_registry
 from .tables import ScatterGatherTables, build_tables
 
@@ -36,6 +38,12 @@ class LoweredKernel:
 
     Immutable after lowering and thread-safe to execute concurrently: the
     executor closure only reads its compiled tables.
+
+    Kernels also pickle (spawn-safe): the compiled executor closure is
+    dropped from the pickled state and the unpickled kernel recompiles it
+    **lazily** from the retained source plan on its first :meth:`execute` —
+    the idiom a process-sharded serving tier relies on, where each worker
+    process receives plan replicas and rebuilds its kernels on first use.
     """
 
     #: Name of the backend that compiled the executor.
@@ -52,7 +60,13 @@ class LoweredKernel:
     kernel_bytes: int
     #: Wall-clock seconds spent lowering (tables + backend compile).
     lowering_s: float
-    _execute: Callable[[np.ndarray], np.ndarray]
+    _execute: Optional[Callable[[np.ndarray], np.ndarray]]
+    #: Source plan (without its kernel) retained for pickled relowering; the
+    #: arrays are shared with the owning plan, so this costs no extra memory.
+    _source: Optional["GemmPlan"] = None
+
+    def __post_init__(self) -> None:
+        self._rebuild_lock = threading.Lock()
 
     @property
     def n(self) -> int:
@@ -74,8 +88,56 @@ class LoweredKernel:
 
         ``activation`` must be ``(K, M)`` int64; the result is ``(N, M)``
         int64, bit-identical to the interpreted path and the scalar oracle.
+        A kernel that crossed a pickle boundary recompiles its executor here
+        on first use (see :meth:`__getstate__`).
         """
-        return self._execute(activation)
+        execute = self._execute
+        if execute is None:
+            execute = self._recompile()
+        return execute(activation)
+
+    # ------------------------------------------------------------- pickling
+    def __getstate__(self) -> Dict[str, object]:
+        """Drop the compiled closure (unpicklable) and the rebuild lock.
+
+        Everything else — including ``_source``, the pre-lowering plan —
+        survives, so the receiving process can recompile the executor without
+        help from the sender.
+        """
+        state = self.__dict__.copy()
+        state["_execute"] = None
+        state.pop("_rebuild_lock", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._rebuild_lock = threading.Lock()
+
+    def _recompile(self) -> Callable[[np.ndarray], np.ndarray]:
+        """Relower the retained source plan to restore the executor.
+
+        Prefers the backend that originally compiled the kernel; when that
+        backend is unavailable in this process (e.g. a ``csr-scipy`` kernel
+        unpickled on a NumPy-only install) the registry autoselects a
+        replacement and ``backend`` is updated to record what actually runs.
+        """
+        with self._rebuild_lock:
+            if self._execute is not None:  # lost the race: already rebuilt
+                return self._execute
+            if self._source is None:
+                raise KernelLoweringError(
+                    f"{self.backend} kernel has no compiled executor and no "
+                    f"source plan to relower from; recompile it with "
+                    f"lower_plan()"
+                )
+            try:
+                rebuilt = lower_plan(self._source, backend=self.backend)
+            except KernelLoweringError:
+                rebuilt = lower_plan(self._source, backend=None)
+            self.backend = rebuilt.backend
+            self.kernel_bytes = rebuilt.kernel_bytes
+            self._execute = rebuilt._execute
+            return self._execute
 
     def stats(self) -> Dict[str, object]:
         """JSON-serialisable lowering statistics (benches embed these)."""
@@ -140,6 +202,7 @@ def lower_plan(
         kernel_bytes=compiled.kernel_bytes,
         lowering_s=time.perf_counter() - start,
         _execute=compiled.execute,
+        _source=plan,
     )
 
 

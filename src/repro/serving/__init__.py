@@ -12,8 +12,13 @@ scoreboard* was designed for: compile once, serve forever.
   requests and the bounded admission-controlled queue;
 * :mod:`repro.serving.batcher` — the dynamic micro-batcher coalescing
   same-layer activations into single engine passes;
-* :mod:`repro.serving.server` — the supervised thread-pool :class:`Server`
-  (worker restarts, :meth:`Server.health`, drain/abort shutdown);
+* :mod:`repro.serving.server` — the supervised :class:`Server` with two
+  execution tiers (``"threads"`` and the GIL-free ``"processes"``), worker
+  restarts, :meth:`Server.health` and drain/abort shutdown;
+* :mod:`repro.serving.shm` / :mod:`repro.serving.process_pool` — the
+  process-sharded tier: shared-memory activation/result rings
+  (:class:`ShmRing`) and the :class:`ProcessWorkerPool` of plan-replica
+  worker processes;
 * :mod:`repro.serving.policy` — per-request deadlines and the
   :class:`RetryPolicy` applied around batch execution;
 * :mod:`repro.serving.faults` — the :class:`FaultInjector` chaos-testing
@@ -29,8 +34,10 @@ from .queue import RequestQueue
 from .batcher import BatchExecution, MicroBatcher
 from .policy import DEFAULT_RETRY_POLICY, RetryPolicy
 from .faults import FaultInjector, FaultPlan, FaultStats
-from .report import ServingReport, build_report, percentile
-from .server import Server, ServerHealth
+from .report import ServingReport, ShardStats, build_report, percentile
+from .server import EXECUTION_MODES, Server, ServerHealth
+from .shm import ArraySpec, ShmRing, cleanup_orphan_segments
+from .process_pool import ProcessWorkerPool, ShardResult
 
 __all__ = [
     "CompileStats",
@@ -47,8 +54,15 @@ __all__ = [
     "FaultPlan",
     "FaultStats",
     "ServingReport",
+    "ShardStats",
     "build_report",
     "percentile",
+    "EXECUTION_MODES",
     "Server",
     "ServerHealth",
+    "ArraySpec",
+    "ShmRing",
+    "cleanup_orphan_segments",
+    "ProcessWorkerPool",
+    "ShardResult",
 ]

@@ -133,6 +133,27 @@ class ModelPlan:
                 )
             self._layers[layer.name] = layer
 
+    # ------------------------------------------------------------- pickling
+    def __getstate__(self) -> Dict[str, object]:
+        """Spawn-safe pickled form of a compiled plan.
+
+        Drops the lazily-built scalar oracle and its lock (both per-process
+        concerns); the engine pickles as configuration only (caches rebuilt
+        empty) and every layer's :class:`~repro.kernels.LoweredKernel` pickles
+        without its compiled closure, recompiling lazily on first use.  The
+        process-sharded serving tier ships exactly this state to each worker
+        process as its plan replica.
+        """
+        state = self.__dict__.copy()
+        state["_oracle"] = None
+        state.pop("_oracle_lock", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._oracle = None
+        self._oracle_lock = threading.Lock()
+
     # ------------------------------------------------------------- lookups
     @property
     def name(self) -> str:

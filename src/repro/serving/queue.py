@@ -60,6 +60,31 @@ class RequestQueue:
             self._pending.append(request)
             self._condition.notify()
 
+    def put_many(self, requests: List[Request]) -> None:
+        """Admit a batch of requests atomically, taking the lock once.
+
+        All-or-nothing admission: either the whole batch fits under
+        ``max_pending`` and every request is enqueued, or nothing is admitted
+        and :class:`BackpressureError` is raised with every member counted as
+        rejected.  A client submitting a prompt's worth of activations either
+        gets the full batch queued or can shed/retry it as one unit — it
+        never has to track which half made it in.
+        """
+        with self._condition:
+            if self._closed:
+                raise ServingError("request queue is closed")
+            if not requests:
+                return
+            if len(self._pending) + len(requests) > self.max_pending:
+                self.rejected += len(requests)
+                raise BackpressureError(
+                    f"request queue cannot admit a batch of {len(requests)} "
+                    f"({len(self._pending)}/{self.max_pending} pending); "
+                    f"retry after the backlog drains"
+                )
+            self._pending.extend(requests)
+            self._condition.notify(len(requests))
+
     def requeue(self, requests: Iterable[Request]) -> None:
         """Return admitted-but-unexecuted requests to the head of the queue.
 

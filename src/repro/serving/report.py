@@ -7,7 +7,7 @@ the completed requests and executed batches.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,6 +26,48 @@ def percentile(values: Sequence[float], q: float) -> float:
     if not 0.0 <= q <= 100.0:
         raise ServingError(f"percentile must be in [0, 100], got {q}")
     return float(np.percentile(values, q))
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """Per-worker utilization of one serving run.
+
+    In ``execution="processes"`` each entry is one worker *process* (shard);
+    in thread mode the server reports one synthetic entry per worker thread
+    so tooling can treat both modes uniformly.  ``compute_s`` is time inside
+    the engine pass; ``dispatch_s`` is everything else the shard's batches
+    cost (queue hand-off, shared-memory copies, result transport), so
+    ``compute_s / (compute_s + dispatch_s)`` is the shard's compute
+    efficiency and the spread of ``batches`` across shards shows load skew.
+    """
+
+    shard: int
+    batches: int
+    requests: int
+    compute_s: float
+    dispatch_s: float
+    restarts: int = 0
+    #: Batches that fell back to pickle transport (batch exceeded a ring
+    #: slot); always 0 in thread mode.
+    shm_fallbacks: int = 0
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of this shard's busy time spent inside the engine pass."""
+        busy = self.compute_s + self.dispatch_s
+        return self.compute_s / busy if busy > 0.0 else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "shard": self.shard,
+            "batches": self.batches,
+            "requests": self.requests,
+            "compute_s": self.compute_s,
+            "dispatch_s": self.dispatch_s,
+            "utilization": self.utilization,
+            "restarts": self.restarts,
+            "shm_fallbacks": self.shm_fallbacks,
+        }
 
 
 @dataclass
@@ -69,6 +111,24 @@ class ServingReport:
     #: Offline-compilation statistics of the served plan (kernel backends,
     #: lowering time, compiled bytes); ``None`` for pre-kernel plans.
     compile_stats: Optional[CompileStats] = None
+    #: Execution tier the run used: ``"threads"`` or ``"processes"``.
+    execution: str = "threads"
+    #: Per-shard (worker) utilization; empty when the server predates shards.
+    shards: Tuple[ShardStats, ...] = ()
+    #: Total seconds completed requests spent queued before dispatch.
+    queue_wait_s_total: float = 0.0
+    #: Total seconds spent inside engine passes, summed across shards.
+    compute_s_total: float = 0.0
+    #: Total non-compute busy seconds (hand-off + transport) across shards.
+    dispatch_s_total: float = 0.0
+    #: Batches that fell back from shared-memory to pickle transport.
+    shm_fallbacks: int = 0
+
+    @property
+    def compute_fraction(self) -> float:
+        """Compute share of total shard busy time (1.0 = no overhead)."""
+        busy = self.compute_s_total + self.dispatch_s_total
+        return self.compute_s_total / busy if busy > 0.0 else 0.0
 
     @property
     def plan_hit_rate(self) -> float:
@@ -128,6 +188,14 @@ class ServingReport:
             summary["attributed_energy_nj"] = self.attributed_energy.total_nj
         if self.compile_stats is not None:
             summary["compile_stats"] = self.compile_stats.as_dict()
+        summary["execution"] = self.execution
+        summary["queue_wait_s_total"] = self.queue_wait_s_total
+        summary["compute_s_total"] = self.compute_s_total
+        summary["dispatch_s_total"] = self.dispatch_s_total
+        summary["compute_fraction"] = self.compute_fraction
+        summary["shm_fallbacks"] = self.shm_fallbacks
+        if self.shards:
+            summary["shards"] = [shard.as_dict() for shard in self.shards]
         return summary
 
 
@@ -153,6 +221,8 @@ def build_report(
     num_degraded: int = 0,
     num_worker_restarts: int = 0,
     compile_stats: Optional[CompileStats] = None,
+    execution: str = "threads",
+    shards: Sequence[ShardStats] = (),
 ) -> ServingReport:
     """Assemble a :class:`ServingReport` from raw serving-run samples.
 
@@ -197,4 +267,10 @@ def build_report(
         attributed_cycles=attributed_cycles,
         attributed_energy=attributed_energy,
         compile_stats=compile_stats,
+        execution=execution,
+        shards=tuple(shards),
+        queue_wait_s_total=sum(queue_delays_s),
+        compute_s_total=sum(shard.compute_s for shard in shards),
+        dispatch_s_total=sum(shard.dispatch_s for shard in shards),
+        shm_fallbacks=sum(shard.shm_fallbacks for shard in shards),
     )

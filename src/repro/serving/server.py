@@ -30,6 +30,17 @@ On top of that sits the fault-tolerance layer:
   :class:`~repro.serving.faults.FaultInjector` hooks worker dispatch and the
   engine pass, powering the chaos test suite.
 
+Two execution tiers share all of the above machinery.  The default
+``execution="threads"`` runs the engine pass on the worker threads; the GIL
+serialises that compute, so ``execution="processes"`` instead pins each
+worker thread to a worker *process* holding its own plan replica
+(:class:`~repro.serving.process_pool.ProcessWorkerPool`), with activations
+and results crossing through shared-memory rings rather than pickle.  The
+queue, batching, deadlines, retries, degraded fallback and supervision stay
+in the parent either way — a crashed shard process surfaces as a
+:class:`~repro.errors.WorkerCrashError`, takes the same requeue path as a
+crashed thread, and its shard is restarted on next dispatch.
+
 Usage::
 
     plan = compile_workload(llama_fc_gemms("llama1-7b"), layer_names=["q_proj"])
@@ -50,15 +61,19 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..energy.breakdown import EnergyBreakdown
-from ..errors import ServingError
+from ..errors import ServingError, WorkerCrashError
 from ..transarray.accelerator import RequestAttribution
 from .batcher import BatchExecution, MicroBatcher
 from .faults import FaultInjector
 from .plan import ModelPlan
 from .policy import DEFAULT_RETRY_POLICY, RetryPolicy, deadline_at
+from .process_pool import ProcessWorkerPool
 from .queue import RequestQueue
-from .report import ServingReport, build_report
+from .report import ServingReport, ShardStats, build_report
 from .request import CANCELLED, DONE, EXPIRED, FAILED, Request
+
+#: Valid ``Server(execution=...)`` tiers.
+EXECUTION_MODES = ("threads", "processes")
 
 #: Exactly-representable-in-float bound for validating float activations.
 _FLOAT_EXACT_INT_BOUND = float(2**53)
@@ -95,6 +110,12 @@ class _WorkerSlot:
     crash_errors: List[BaseException] = field(default_factory=list)
     dead: bool = False
     finished: bool = False
+    # Thread-mode utilization counters (process mode tracks these per shard
+    # inside the pool instead).
+    batches: int = 0
+    requests: int = 0
+    compute_s: float = 0.0
+    dispatch_s: float = 0.0
 
     @property
     def name(self) -> str:
@@ -125,6 +146,10 @@ class ServerHealth:
     num_retried: int
     num_degraded: int
     num_worker_restarts: int
+    #: Execution tier of the server ("threads" or "processes").
+    execution: str = "threads"
+    #: Live worker *processes*; ``None`` in thread mode.
+    alive_shards: Optional[int] = None
 
     @property
     def healthy(self) -> bool:
@@ -147,6 +172,8 @@ class ServerHealth:
             "num_retried": self.num_retried,
             "num_degraded": self.num_degraded,
             "num_worker_restarts": self.num_worker_restarts,
+            "execution": self.execution,
+            "alive_shards": self.alive_shards,
         }
 
 
@@ -176,6 +203,19 @@ class Server:
     max_worker_restarts:
         Supervisor budget of worker restarts over the server's lifetime;
         defaults to ``2 * num_workers``.
+    execution:
+        ``"threads"`` (default) executes batches on the worker threads
+        themselves; ``"processes"`` pins each worker thread to its own worker
+        *process* holding a plan replica, with activations and results
+        crossing through shared-memory rings — the tier that scales Python
+        compute past the GIL (see :mod:`repro.serving.process_pool`).
+    max_batch_columns:
+        Process mode only: ring slots are sized for one batch of up to this
+        many activation columns on the widest layer; larger batches fall back
+        to pickle transport (counted, never wrong).
+    start_method:
+        Process mode only: multiprocessing start method for the shards
+        (``"spawn"`` default; it is the threads-safe choice).
     """
 
     def __init__(
@@ -188,6 +228,9 @@ class Server:
         degraded_fallback: bool = True,
         faults: Optional[FaultInjector] = None,
         max_worker_restarts: Optional[int] = None,
+        execution: str = "threads",
+        max_batch_columns: int = 64,
+        start_method: str = "spawn",
     ) -> None:
         if num_workers < 1:
             raise ServingError(f"num_workers must be positive, got {num_workers}")
@@ -197,17 +240,36 @@ class Server:
             raise ServingError(
                 f"max_worker_restarts must be >= 0, got {max_worker_restarts}"
             )
+        if execution not in EXECUTION_MODES:
+            raise ServingError(
+                f"execution must be one of {EXECUTION_MODES}, got '{execution}'"
+            )
         self.plan = plan
         self.num_workers = num_workers
         self.max_batch = max_batch
         self.retry_policy = retry_policy
         self.degraded_fallback = degraded_fallback
         self.faults = faults
+        self.execution = execution
         self.max_worker_restarts = (
             max_worker_restarts if max_worker_restarts is not None else 2 * num_workers
         )
         self.queue = RequestQueue(max_pending)
-        self.batcher = MicroBatcher(plan, faults=faults)
+        self._pool: Optional[ProcessWorkerPool] = None
+        if execution == "processes":
+            # Shards inject faults through their own decorrelated injector
+            # clones (the parent's counters are unreachable across the
+            # process boundary), so the parent-side hooks stay quiet here.
+            self._pool = ProcessWorkerPool(
+                plan,
+                num_shards=num_workers,
+                max_batch_columns=max_batch_columns,
+                faults=faults,
+                start_method=start_method,
+            )
+        self.batcher = MicroBatcher(
+            plan, faults=faults if self._pool is None else None
+        )
         self._slots: List[_WorkerSlot] = []
         self._supervisor: Optional[threading.Thread] = None
         self._supervisor_cv = threading.Condition()
@@ -234,6 +296,11 @@ class Server:
             if self._started:
                 return self
             self._started = True
+            # Process tier: bring every shard up before the first request can
+            # be admitted, so submit latency never pays a process spawn.
+            if self._pool is not None:
+                for index in range(self.num_workers):
+                    self._pool.ensure_shard(index)
             # Spawn under the lock so a concurrent close() always sees the
             # full worker list when it snapshots for joining.
             for index in range(self.num_workers):
@@ -295,6 +362,8 @@ class Server:
                 self._supervisor_stop = True
                 self._supervisor_cv.notify_all()
             self._supervisor.join()
+        if self._pool is not None:
+            self._pool.close()
         # Account for everything that never reached a worker: requests shed
         # by the queue plus any leftovers a crashed worker requeued after the
         # restart budget ran out.
@@ -337,13 +406,70 @@ class Server:
         for the output and :meth:`Request.cancel` to abandon queued work.
         """
         with self._lock:
-            if not self._started:
-                raise ServingError("server is not started; call start() first")
-            if self._closed:
-                raise ServingError("server has been closed")
+            self._check_accepting()
             request_id = self._next_id
             self._next_id += 1
         layer_plan = self.plan.layer(layer)
+        request = self._make_request(
+            request_id, layer, layer_plan, activation,
+            time.perf_counter(), deadline_s,
+        )
+        self.queue.put(request)  # may raise BackpressureError
+        return request
+
+    def submit_many(
+        self,
+        layer: str,
+        activations: List[np.ndarray],
+        deadline_s: Optional[float] = None,
+    ) -> List[Request]:
+        """Admit a batch of same-layer activations atomically.
+
+        Validates every activation up front, then admits the whole batch
+        through one :meth:`~repro.serving.queue.RequestQueue.put_many` call —
+        the queue lock is taken once per batch instead of once per request,
+        and admission is all-or-nothing: if the batch does not fit under
+        ``max_pending``, nothing is enqueued and
+        :class:`~repro.errors.BackpressureError` is raised with every member
+        counted as rejected.  Returns the request handles in submission
+        order.
+        """
+        activations = list(activations)
+        if not activations:
+            raise ServingError("submit_many needs at least one activation")
+        with self._lock:
+            self._check_accepting()
+            first_id = self._next_id
+            self._next_id += len(activations)
+        layer_plan = self.plan.layer(layer)
+        submitted_at = time.perf_counter()
+        requests = [
+            self._make_request(
+                first_id + offset, layer, layer_plan, activation,
+                submitted_at, deadline_s,
+            )
+            for offset, activation in enumerate(activations)
+        ]
+        self.queue.put_many(requests)  # may raise BackpressureError
+        return requests
+
+    def _check_accepting(self) -> None:
+        """Reject submissions outside the started-and-open window (locked)."""
+        if not self._started:
+            raise ServingError("server is not started; call start() first")
+        if self._closed:
+            raise ServingError("server has been closed")
+
+    def _make_request(
+        self,
+        request_id: int,
+        layer: str,
+        layer_plan,
+        activation: np.ndarray,
+        submitted_at: float,
+        deadline_s: Optional[float],
+    ) -> Request:
+        """Validate one activation and wrap it into a queued-ready request."""
         activation = np.asarray(activation)
         if activation.ndim != 2:
             raise ServingError(
@@ -354,16 +480,13 @@ class Server:
                 f"activation for layer '{layer}' must be ({layer_plan.shape.k}, m>=1), "
                 f"got {activation.shape}"
             )
-        submitted_at = time.perf_counter()
-        request = Request(
+        return Request(
             request_id=request_id,
             layer=layer,
             activation=self._validate_activation_values(layer, activation),
             submitted_at=submitted_at,
             deadline_at=deadline_at(submitted_at, deadline_s),
         )
-        self.queue.put(request)  # may raise BackpressureError
-        return request
 
     @staticmethod
     def _validate_activation_values(layer: str, activation: np.ndarray) -> np.ndarray:
@@ -416,28 +539,88 @@ class Server:
             if batch is None:
                 return
             slot.inflight = batch
-            if self.faults is not None:
+            if self.faults is not None and self._pool is None:
+                # Thread tier injects dispatch faults here; the process tier's
+                # equivalent fires inside the shard (and kills the process).
                 self.faults.on_dispatch(slot.name)  # may raise: worker death
-            self._process_batch(batch)
+            self._process_batch(slot, batch)
             slot.inflight = None
 
-    def _process_batch(self, batch: List[Request]) -> None:
+    def _process_batch(self, slot: _WorkerSlot, batch: List[Request]) -> None:
         claim_time = time.perf_counter()
         claimed = [
             request for request in batch if request.try_claim(claim_time, len(batch))
         ]
-        execution = self._execute_resilient(claimed) if claimed else None
+        execution = self._execute_resilient(slot, claimed) if claimed else None
+        if claimed and self._pool is None:
+            # Thread-mode utilization accounting (the pool tracks its own).
+            busy_s = time.perf_counter() - claim_time
+            compute_s = execution.duration_s if execution is not None else 0.0
+            slot.batches += 1
+            slot.requests += len(claimed)
+            slot.compute_s += compute_s
+            slot.dispatch_s += max(busy_s - compute_s, 0.0)
         records = [self._record(request) for request in batch]
         self._finish([execution] if execution is not None else [], records)
 
+    def _execute_claimed(
+        self, slot: _WorkerSlot, claimed: List[Request]
+    ) -> BatchExecution:
+        """One execution attempt on this worker's tier (thread or shard)."""
+        if self._pool is None:
+            return self.batcher.execute_once(claimed)
+        return self._execute_on_shard(slot.index, claimed)
+
+    def _execute_on_shard(
+        self, shard: int, claimed: List[Request]
+    ) -> BatchExecution:
+        """Round-trip one claimed batch through this worker's shard process.
+
+        Raises on failure with the requests untouched (same contract as
+        :meth:`~repro.serving.batcher.MicroBatcher.execute_once`), including
+        :class:`~repro.errors.WorkerCrashError` when the shard process died —
+        which deliberately escapes the retry machinery so the server's crash
+        path requeues the batch and the supervisor restarts the shard.
+        """
+        layer = self.batcher._check_batch(claimed)
+        started_at = time.perf_counter()
+        # A replacement worker thread lands here after a shard crash: bring
+        # the (dead) shard back up before dispatching to it.
+        self._pool.ensure_shard(shard)
+        result = self._pool.execute(
+            shard, layer, [request.activation for request in claimed]
+        )
+        attributions = [
+            self.plan.attribute(layer, request.columns) for request in claimed
+        ]
+        finished_at = time.perf_counter()
+        for request, output, attribution in zip(
+            claimed, result.outputs, attributions
+        ):
+            request.attribution = attribution
+            request.fulfil(output, finished_at)
+        return BatchExecution(
+            layer=layer,
+            batch_size=len(claimed),
+            total_columns=sum(int(out.shape[1]) for out in result.outputs),
+            started_at=started_at,
+            finished_at=finished_at,
+            op_counts=result.op_counts,
+        )
+
     def _execute_resilient(
-        self, claimed: List[Request]
+        self, slot: _WorkerSlot, claimed: List[Request]
     ) -> Optional[BatchExecution]:
         """Run one claimed batch under the retry policy + degraded fallback."""
         attempt = 1
         while True:
             try:
-                return self.batcher.execute_once(claimed)
+                return self._execute_claimed(slot, claimed)
+            except WorkerCrashError:
+                # Shard-process death is not a batch failure: let it escape to
+                # the worker crash path (requeue + supervised restart) instead
+                # of burning retries or degrading a batch that never ran.
+                raise
             except Exception as error:  # noqa: BLE001 - resilience boundary
                 if self.retry_policy is not None and self.retry_policy.should_retry(
                     error, attempt
@@ -593,7 +776,38 @@ class Server:
             num_retried=retried,
             num_degraded=degraded,
             num_worker_restarts=restarts,
+            execution=self.execution,
+            alive_shards=(
+                self._pool.alive_shards() if self._pool is not None else None
+            ),
         )
+
+    def _shard_stats(self) -> List[ShardStats]:
+        """Per-shard utilization: pool counters, or thread-slot equivalents."""
+        if self._pool is not None:
+            return [
+                ShardStats(
+                    shard=stat["shard"],
+                    batches=stat["batches"],
+                    requests=stat["requests"],
+                    compute_s=stat["compute_s"],
+                    dispatch_s=stat["dispatch_s"],
+                    restarts=stat["restarts"],
+                    shm_fallbacks=stat["shm_fallbacks"],
+                )
+                for stat in self._pool.shard_stats()
+            ]
+        with self._lock:
+            return [
+                ShardStats(
+                    shard=slot.index,
+                    batches=slot.batches,
+                    requests=slot.requests,
+                    compute_s=slot.compute_s,
+                    dispatch_s=slot.dispatch_s,
+                )
+                for slot in self._slots
+            ]
 
     # ------------------------------------------------------------ reporting
     def report(self) -> ServingReport:
@@ -672,4 +886,6 @@ class Server:
             num_degraded=degraded,
             num_worker_restarts=restarts,
             compile_stats=getattr(self.plan, "compile_stats", None),
+            execution=self.execution,
+            shards=self._shard_stats(),
         )

@@ -1,0 +1,295 @@
+"""Shared-memory activation/result ring buffers for process-sharded serving.
+
+The process tier's design rule is that *request payloads never pass through
+pickle on the hot path*: activations are written by the parent straight into
+a :class:`ShmRing` slot backed by one ``multiprocessing.shared_memory``
+segment, the worker process maps the same segment and reads them in place,
+and the outputs come back through the same slot.  Only tiny descriptors
+(slot index, offsets, shapes) travel over the work/result queues.
+
+Lifecycle rules, enforced and tested:
+
+* the **parent** creates a ring (``create=True``) and owns the segment: it
+  must :meth:`ShmRing.close` it, which unmaps *and unlinks* the backing
+  segment exactly once (double ``close()`` is an idempotent no-op);
+* a **worker process** attaches (:meth:`ShmRing.attach`) and closes its
+  mapping on exit without unlinking — the parent's unlink is authoritative;
+* if the *parent* dies without cleanup, the segment is orphaned in
+  ``/dev/shm``; segment names embed the creating PID, so
+  :func:`cleanup_orphan_segments` can unlink every segment whose creator is
+  no longer alive (a supervisor calls it at startup).
+
+Slot management is intentionally parent-side only: the parent acquires a
+slot before dispatching a batch and releases it after reading the results,
+so a slot is owned by exactly one in-flight batch and the child never needs
+shared synchronisation state — the queues provide the ordering.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ServingError
+
+#: Prefix of every segment created by this module; orphan cleanup scans it.
+SEGMENT_PREFIX = "reproshm"
+
+#: Monotonic per-process counter making segment names unique.
+_SEGMENT_COUNTER = itertools.count()
+
+
+def _segment_name(tag: str) -> str:
+    """Unique segment name embedding the creating PID (for orphan cleanup)."""
+    return f"{SEGMENT_PREFIX}_{os.getpid()}_{tag}_{next(_SEGMENT_COUNTER)}"
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether a process with ``pid`` exists (without signalling it)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # exists but owned by someone else
+        return True
+    return True
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Descriptor of one int64 array stored inside a ring slot.
+
+    This is the only thing that crosses the process boundary per array:
+    the payload itself stays in shared memory.
+    """
+
+    slot: int
+    offset: int
+    shape: Tuple[int, int]
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.shape[0] * self.shape[1] * 8)
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.nbytes
+
+
+class ShmRing:
+    """A ring of fixed-size slots carved out of one shared-memory segment.
+
+    Parameters
+    ----------
+    slot_bytes:
+        Capacity of each slot; one slot must hold a whole batch's activations
+        *and* its outputs (the parent writes activations at the slot base,
+        the worker appends outputs after them).
+    num_slots:
+        Ring depth.  Two slots give classic double buffering: the parent can
+        fill the next batch while the worker still computes the previous one.
+    name:
+        Attach to an existing segment (worker side) instead of creating one.
+    tag:
+        Human-readable fragment of generated segment names (``"shard3"``).
+    """
+
+    def __init__(
+        self,
+        slot_bytes: int,
+        num_slots: int = 2,
+        name: Optional[str] = None,
+        tag: str = "ring",
+    ) -> None:
+        if slot_bytes < 8:
+            raise ServingError(f"slot_bytes must be >= 8, got {slot_bytes}")
+        if num_slots < 1:
+            raise ServingError(f"num_slots must be >= 1, got {num_slots}")
+        self.slot_bytes = int(slot_bytes)
+        self.num_slots = int(num_slots)
+        self._owner = name is None
+        if name is None:
+            self._shm = shared_memory.SharedMemory(
+                name=_segment_name(tag), create=True,
+                size=self.slot_bytes * self.num_slots,
+            )
+        else:
+            # Attaching registers the name with the resource tracker again;
+            # under ``spawn`` the tracker process is shared with the creator,
+            # and its registry is a set — so the attach is a no-op there and
+            # the creator's single unregister-on-unlink stays balanced.  (Do
+            # NOT unregister here: with a shared tracker that would strip the
+            # creator's registration and make its unlink a noisy KeyError.)
+            self._shm = shared_memory.SharedMemory(name=name, create=False)
+        self._closed = False
+        self._free: List[int] = list(range(self.num_slots))
+        self._available = threading.Condition()
+
+    # --------------------------------------------------------------- basics
+    @property
+    def name(self) -> str:
+        """Name of the backing segment (pass to :meth:`attach` in a child)."""
+        return self._shm.name
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @classmethod
+    def attach(cls, name: str, slot_bytes: int, num_slots: int) -> "ShmRing":
+        """Map an existing ring created by the parent (worker-process side)."""
+        return cls(slot_bytes=slot_bytes, num_slots=num_slots, name=name)
+
+    # ------------------------------------------------------ slot management
+    def acquire(self, timeout: Optional[float] = None) -> Optional[int]:
+        """Claim a free slot, waiting up to ``timeout``; ``None`` on timeout.
+
+        Parent-side only.  A slot stays claimed from batch dispatch until the
+        parent has copied the results out, so in-flight batches can never
+        overwrite each other.
+        """
+        with self._available:
+            while not self._free:
+                if self._closed:
+                    raise ServingError("cannot acquire a slot on a closed ring")
+                if not self._available.wait(timeout):
+                    return None
+            if self._closed:
+                raise ServingError("cannot acquire a slot on a closed ring")
+            return self._free.pop()
+
+    def release(self, slot: int) -> None:
+        """Return a claimed slot to the free list (idempotent per claim)."""
+        self._check_slot(slot)
+        with self._available:
+            if slot not in self._free:
+                self._free.append(slot)
+                self._available.notify()
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.num_slots:
+            raise ServingError(
+                f"slot must be in [0, {self.num_slots}), got {slot}"
+            )
+
+    # ----------------------------------------------------------------- I/O
+    def write_arrays(
+        self, slot: int, arrays: Sequence[np.ndarray], base_offset: int = 0
+    ) -> List[ArraySpec]:
+        """Copy int64 matrices into a slot, back to back; return their specs.
+
+        Raises :class:`~repro.errors.ServingError` when the arrays do not fit
+        the slot — the caller falls back to queue (pickle) transport rather
+        than corrupting a neighbouring slot.
+        """
+        if self._closed:
+            raise ServingError("cannot write to a closed ring")
+        self._check_slot(slot)
+        specs: List[ArraySpec] = []
+        offset = base_offset
+        for array in arrays:
+            if array.ndim != 2:
+                raise ServingError(
+                    f"ring transport carries 2-D matrices, got {array.ndim}-D"
+                )
+            spec = ArraySpec(
+                slot=slot, offset=offset, shape=(int(array.shape[0]), int(array.shape[1]))
+            )
+            if spec.end > self.slot_bytes:
+                raise ServingError(
+                    f"batch needs {spec.end} bytes, slot holds {self.slot_bytes}"
+                )
+            view = self._view(spec)
+            view[:] = array
+            specs.append(spec)
+            offset = spec.end
+        return specs
+
+    def read_array(self, spec: ArraySpec, copy: bool = True) -> np.ndarray:
+        """Materialise one array from its spec (a copy by default).
+
+        ``copy=False`` returns a live view into the segment — only safe while
+        the slot is still claimed and nobody writes it.
+        """
+        if self._closed:
+            raise ServingError("cannot read from a closed ring")
+        view = self._view(spec)
+        return view.copy() if copy else view
+
+    def _view(self, spec: ArraySpec) -> np.ndarray:
+        self._check_slot(spec.slot)
+        start = spec.slot * self.slot_bytes + spec.offset
+        if spec.offset < 0 or spec.end > self.slot_bytes:
+            raise ServingError(
+                f"array spec {spec} does not fit a {self.slot_bytes}-byte slot"
+            )
+        return np.ndarray(
+            spec.shape, dtype=np.int64, buffer=self._shm.buf,
+            offset=start,
+        )
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Unmap the segment; the creating side also unlinks it.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._available:
+            self._available.notify_all()
+        self._shm.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # already unlinked (e.g. orphan sweep)
+                pass
+
+    def __enter__(self) -> "ShmRing":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-timing dependent
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 - interpreter shutdown
+            pass
+
+
+def cleanup_orphan_segments(prefix: str = SEGMENT_PREFIX) -> List[str]:
+    """Unlink shared-memory segments whose creating process has died.
+
+    Scans ``/dev/shm`` for segments named ``{prefix}_{pid}_...`` and unlinks
+    every one whose ``pid`` is no longer alive — the recovery path after a
+    serving parent was SIGKILLed between creating rings and closing them.
+    Returns the names it cleaned.  Segments of live processes (including this
+    one) are never touched.
+    """
+    shm_dir = "/dev/shm"
+    cleaned: List[str] = []
+    try:
+        candidates = os.listdir(shm_dir)
+    except FileNotFoundError:  # pragma: no cover - non-Linux fallback
+        return cleaned
+    for entry in candidates:
+        if not entry.startswith(f"{prefix}_"):
+            continue
+        parts = entry.split("_")
+        try:
+            pid = int(parts[1])
+        except (IndexError, ValueError):
+            continue
+        if _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(shm_dir, entry))
+        except FileNotFoundError:  # pragma: no cover - concurrent sweep
+            continue
+        cleaned.append(entry)
+    return cleaned

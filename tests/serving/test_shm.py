@@ -1,0 +1,177 @@
+"""Lifecycle and transport tests of the shared-memory ring buffers.
+
+The :class:`~repro.serving.shm.ShmRing` owns a real ``/dev/shm`` segment, so
+these tests assert the lifecycle contract directly against the filesystem:
+a closed ring leaves no segment behind, ``close()`` is idempotent, attachers
+never unlink the owner's segment, and orphans of dead creators are swept by
+:func:`~repro.serving.shm.cleanup_orphan_segments`.
+"""
+
+import os
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import ArraySpec, ShmRing, cleanup_orphan_segments
+from repro.serving.shm import SEGMENT_PREFIX
+
+SHM_DIR = "/dev/shm"
+
+
+def _segment_exists(name: str) -> bool:
+    return os.path.exists(os.path.join(SHM_DIR, name))
+
+
+class TestRoundTrip:
+    def test_write_then_read_is_bit_identical(self):
+        rng = np.random.default_rng(0)
+        arrays = [
+            rng.integers(-(2**40), 2**40, size=(5, 3), dtype=np.int64),
+            rng.integers(-(2**40), 2**40, size=(2, 7), dtype=np.int64),
+        ]
+        with ShmRing(slot_bytes=4096, num_slots=2) as ring:
+            slot = ring.acquire(timeout=1.0)
+            specs = ring.write_arrays(slot, arrays)
+            assert [spec.shape for spec in specs] == [(5, 3), (2, 7)]
+            for spec, array in zip(specs, arrays):
+                assert np.array_equal(ring.read_array(spec), array)
+
+    def test_arrays_pack_back_to_back(self):
+        with ShmRing(slot_bytes=4096, num_slots=1) as ring:
+            specs = ring.write_arrays(0, [np.ones((2, 2), dtype=np.int64)] * 3)
+            assert [spec.offset for spec in specs] == [0, 32, 64]
+            assert specs[-1].end == 96
+
+    def test_base_offset_appends_after_existing_payload(self):
+        # The worker writes outputs *after* the activations it read.
+        acts = np.arange(6, dtype=np.int64).reshape(2, 3)
+        outs = np.arange(6, 12, dtype=np.int64).reshape(3, 2)
+        with ShmRing(slot_bytes=4096, num_slots=1) as ring:
+            act_specs = ring.write_arrays(0, [acts])
+            out_specs = ring.write_arrays(0, [outs], base_offset=act_specs[-1].end)
+            assert out_specs[0].offset == act_specs[-1].end
+            assert np.array_equal(ring.read_array(act_specs[0]), acts)
+            assert np.array_equal(ring.read_array(out_specs[0]), outs)
+
+    def test_copy_false_returns_a_live_view(self):
+        with ShmRing(slot_bytes=4096, num_slots=1) as ring:
+            spec = ring.write_arrays(0, [np.zeros((2, 2), dtype=np.int64)])[0]
+            view = ring.read_array(spec, copy=False)
+            ring.write_arrays(0, [np.full((2, 2), 9, dtype=np.int64)])
+            assert np.array_equal(view, np.full((2, 2), 9, dtype=np.int64))
+
+    def test_oversized_batch_raises_for_pickle_fallback(self):
+        with ShmRing(slot_bytes=64, num_slots=1) as ring:
+            with pytest.raises(ServingError, match="slot holds 64"):
+                ring.write_arrays(0, [np.zeros((4, 4), dtype=np.int64)])
+
+    def test_non_2d_arrays_are_rejected(self):
+        with ShmRing(slot_bytes=4096, num_slots=1) as ring:
+            with pytest.raises(ServingError, match="2-D"):
+                ring.write_arrays(0, [np.zeros(4, dtype=np.int64)])
+
+
+class TestSlotManagement:
+    def test_acquire_exhaustion_times_out_then_release_unblocks(self):
+        with ShmRing(slot_bytes=64, num_slots=2) as ring:
+            first = ring.acquire(timeout=0.1)
+            second = ring.acquire(timeout=0.1)
+            assert {first, second} == {0, 1}
+            assert ring.acquire(timeout=0.05) is None
+            ring.release(first)
+            assert ring.acquire(timeout=0.1) == first
+
+    def test_release_is_idempotent_per_claim(self):
+        with ShmRing(slot_bytes=64, num_slots=1) as ring:
+            slot = ring.acquire(timeout=0.1)
+            ring.release(slot)
+            ring.release(slot)  # double release must not duplicate the slot
+            assert ring.acquire(timeout=0.1) == slot
+            assert ring.acquire(timeout=0.05) is None
+
+    def test_bad_slot_indices_are_rejected(self):
+        with ShmRing(slot_bytes=64, num_slots=1) as ring:
+            with pytest.raises(ServingError):
+                ring.release(5)
+            with pytest.raises(ServingError):
+                ring.read_array(ArraySpec(slot=3, offset=0, shape=(1, 1)))
+
+
+class TestLifecycle:
+    def test_close_unlinks_the_segment(self):
+        ring = ShmRing(slot_bytes=64, num_slots=1)
+        name = ring.name
+        assert _segment_exists(name)
+        ring.close()
+        assert not _segment_exists(name)
+
+    def test_double_close_is_idempotent(self):
+        ring = ShmRing(slot_bytes=64, num_slots=1)
+        ring.close()
+        ring.close()  # must not raise
+        assert ring.closed
+
+    def test_closed_ring_refuses_io_and_acquire(self):
+        ring = ShmRing(slot_bytes=64, num_slots=1)
+        spec = ring.write_arrays(0, [np.zeros((1, 1), dtype=np.int64)])[0]
+        ring.close()
+        with pytest.raises(ServingError):
+            ring.write_arrays(0, [np.zeros((1, 1), dtype=np.int64)])
+        with pytest.raises(ServingError):
+            ring.read_array(spec)
+        with pytest.raises(ServingError):
+            ring.acquire(timeout=0.05)
+
+    def test_attacher_close_does_not_unlink_owner_segment(self):
+        owner = ShmRing(slot_bytes=64, num_slots=1)
+        spec = owner.write_arrays(0, [np.full((1, 1), 7, dtype=np.int64)])[0]
+        attacher = ShmRing.attach(owner.name, slot_bytes=64, num_slots=1)
+        assert np.array_equal(
+            attacher.read_array(spec), np.full((1, 1), 7, dtype=np.int64)
+        )
+        attacher.close()
+        assert _segment_exists(owner.name)  # only the owner unlinks
+        owner.close()
+        assert not _segment_exists(owner.name)
+
+    def test_validation(self):
+        with pytest.raises(ServingError):
+            ShmRing(slot_bytes=4)
+        with pytest.raises(ServingError):
+            ShmRing(slot_bytes=64, num_slots=0)
+
+
+class TestOrphanCleanup:
+    def test_sweeps_segments_of_dead_creators_only(self):
+        # Forge a segment whose embedded creator PID is certainly dead.
+        dead_pid = 2**22 + 1234  # beyond default pid_max
+        orphan = shared_memory.SharedMemory(
+            name=f"{SEGMENT_PREFIX}_{dead_pid}_test_0", create=True, size=64
+        )
+        orphan.close()
+        live = ShmRing(slot_bytes=64, num_slots=1, tag="live")
+        try:
+            cleaned = cleanup_orphan_segments()
+            assert orphan.name.lstrip("/") in cleaned
+            assert not _segment_exists(orphan.name.lstrip("/"))
+            assert _segment_exists(live.name)  # live creator: untouched
+        finally:
+            live.close()
+
+    def test_ignores_foreign_and_malformed_names(self):
+        foreign = shared_memory.SharedMemory(
+            name="not_repro_segment", create=True, size=64
+        )
+        malformed = shared_memory.SharedMemory(
+            name=f"{SEGMENT_PREFIX}_notapid_x", create=True, size=64
+        )
+        try:
+            cleaned = cleanup_orphan_segments()
+            assert foreign.name.lstrip("/") not in cleaned
+            assert malformed.name.lstrip("/") not in cleaned
+        finally:
+            for segment in (foreign, malformed):
+                segment.close()
+                segment.unlink()
