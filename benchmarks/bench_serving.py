@@ -32,13 +32,28 @@ and 3x for the full scale on >= 4 cores, and is recorded but not gated on
 a single-core machine, where no parallel tier can win.
 
 ``--faults smoke`` runs the chaos smoke scenario instead: a synthetic
-two-layer plan served under seeded injected engine faults, latency and a
-scripted worker crash.  It writes ``BENCH_serving_faults.json`` and gates
-that **availability** — the fraction of (non-injected) client requests that
-still complete bit-identically via retry or the degraded oracle — stays
->= 99%.  Combine with ``--processes`` to run the same chaos gate against
-the process tier (crashes then kill real worker processes; writes
+two-stage chained plan served as whole-model requests under seeded injected
+engine faults, latency and a scripted mid-pipeline worker crash.  It writes
+``BENCH_serving_faults.json`` and gates that **availability** — the
+fraction of (non-injected) client requests that still complete
+bit-identically via retry or the degraded oracle — stays >= 99%.  Combine
+with ``--processes`` to run the same chaos gate against the process tier
+(crashes then kill real worker processes; writes
 ``BENCH_serving_faults_mp.json``).
+
+``--model llama-block`` benchmarks whole-model **pipelined serving**: a
+chained multi-stage plan (full: the five-stage LLaMA-7B block of
+:func:`~repro.workloads.llama_block_gemms`; smoke: a synthetic four-stage
+chain) served as concurrent model requests, against the non-overlapped
+staged baseline (``plan.run_model``, one request at a time).  Writes
+``BENCH_serving_pipeline.json`` (or ``_smoke``); the ``--check`` speedup
+gate is core-count aware — pipelined serving must reach 1.3x the staged
+baseline on >= 2 cores, and is recorded ungated on a single core, where
+stage overlap cannot buy wall time.
+
+Every mode submits through the model-level API only (``submit(activation)``
+/ ``submit(activations[i], ...)``); the deprecated per-layer
+``submit(layer, activation)`` surface is not exercised here.
 """
 
 import argparse
@@ -60,7 +75,11 @@ from repro.serving import (  # noqa: E402
     Server,
     compile_workload,
 )
-from repro.workloads import llama_fc_gemms, synthetic_gemm_workload  # noqa: E402
+from repro.workloads import (  # noqa: E402
+    llama_block_gemms,
+    llama_fc_gemms,
+    synthetic_gemm_workload,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 FAULTS_OUTPUT_PATH = REPO_ROOT / "BENCH_serving_faults.json"
@@ -77,6 +96,10 @@ P99_REGRESSION_FACTOR = 4.0
 #: ungated; the full scale on a >= 4-core machine must reach 3x.
 MP_SPEEDUP_GATE_2CORE = 1.5
 MP_SPEEDUP_GATE_4CORE_FULL = 3.0
+#: Pipelined whole-model serving vs the staged (non-overlapped) baseline.
+#: Recorded ungated on a single core: with one core, overlapping pipeline
+#: stages cannot reduce wall time.
+PIPELINE_SPEEDUP_GATE = 1.3
 
 NUM_REQUESTS = 64
 MAX_BATCH = 16
@@ -133,7 +156,9 @@ def bench_serving(plan, layer_name):
     ]
     with Server(plan, num_workers=NUM_WORKERS, max_batch=MAX_BATCH,
                 max_pending=NUM_REQUESTS) as server:
-        requests = [server.submit(layer_name, act) for act in activations]
+        # Model-level submit: the single-layer plan serves as an implicit
+        # one-stage pipeline, so no layer name is needed.
+        requests = [server.submit(act) for act in activations]
         outputs = [request.result(timeout=600.0) for request in requests]
     for activation, output in zip(activations, outputs):
         assert np.array_equal(output, layer.weight @ activation)
@@ -231,13 +256,13 @@ def _measure_rps(plan, layer_name, execution, num_workers, activations):
         max_pending=len(activations) + 2 * num_workers, execution=execution,
     ) as server:
         warmup = [
-            server.submit(layer_name, activations[0])
+            server.submit(activations[0])
             for _ in range(2 * num_workers)
         ]
         for request in warmup:
             request.result(timeout=600.0)
         start = time.perf_counter()
-        requests = [server.submit(layer_name, act) for act in activations]
+        requests = [server.submit(act) for act in activations]
         outputs = [request.result(timeout=600.0) for request in requests]
         elapsed = time.perf_counter() - start
     for activation, output in zip(activations, outputs):
@@ -374,21 +399,170 @@ def test_batched_serving_2x_sequential():
     assert results["compile_stats"]["kernel_backends"]
 
 
+# ------------------------------------------------------ whole-model pipeline
+PIPELINE_NUM_REQUESTS = 32
+PIPELINE_STAGED_SAMPLE = 8
+
+
+def pipeline_output_path(scale: str) -> Path:
+    return REPO_ROOT / f"BENCH_serving_pipeline{SCALES[scale]['suffix']}.json"
+
+
+def pipeline_speedup_gate(cpu_count: int):
+    """Core-count-aware pipelined-vs-staged gate; ``None`` = record, no gate."""
+    return PIPELINE_SPEEDUP_GATE if cpu_count >= 2 else None
+
+
+def _compile_pipeline_plan(scale: str):
+    """A chained multi-stage plan: the real LLaMA-7B block, or a synthetic
+    four-stage chain for CI."""
+    if scale == "full":
+        workload = llama_block_gemms("llama1-7b", weight_bits=WEIGHT_BITS)
+    else:
+        workload = synthetic_gemm_workload(
+            num_layers=4, n=256, k=256, m=1, weight_bits=WEIGHT_BITS,
+            name="serving-pipeline-smoke",
+        )
+    start = time.perf_counter()
+    plan = compile_workload(workload, seed=42, graph="chain")
+    return plan, time.perf_counter() - start
+
+
+def run_pipeline(scale: str = "full", write: bool = True) -> dict:
+    """Pipelined whole-model serving vs the staged sequential baseline.
+
+    The staged baseline runs ``plan.run_model`` one request at a time — the
+    same per-stage engine calls the server makes, with zero overlap.  The
+    pipelined measurement serves concurrent model requests, so different
+    requests occupy different pipeline stages at once; every output is
+    bit-verified against the staged reference before rates are reported.
+    """
+    cpu_count = os.cpu_count() or 1
+    plan, compile_s = _compile_pipeline_plan(scale)
+    rng = np.random.default_rng(7)
+    activations = [
+        rng.integers(-128, 128, size=(plan.input_dim, 1), dtype=np.int64)
+        for _ in range(PIPELINE_NUM_REQUESTS)
+    ]
+    # Reference pass doubles as warm-up for the engine LRU caches.
+    expected = [plan.run_model(act) for act in activations]
+    start = time.perf_counter()
+    for activation in activations[:PIPELINE_STAGED_SAMPLE]:
+        plan.run_model(activation)
+    staged_rps = PIPELINE_STAGED_SAMPLE / (time.perf_counter() - start)
+
+    with Server(plan, num_workers=NUM_WORKERS, max_batch=MAX_BATCH,
+                max_pending=PIPELINE_NUM_REQUESTS) as server:
+        server.submit(activations[0]).result(timeout=600.0)  # warm workers
+        start = time.perf_counter()
+        requests = [server.submit(act) for act in activations]
+        outputs = [request.result(timeout=600.0) for request in requests]
+        elapsed = time.perf_counter() - start
+    for output, reference in zip(outputs, expected):
+        assert np.array_equal(output, reference)
+    report = server.report()
+    pipelined_rps = PIPELINE_NUM_REQUESTS / elapsed
+    results = {
+        "benchmark": "bench_serving_pipeline",
+        "scale": scale,
+        "bit_identical": True,  # asserted above against plan.run_model
+        "model": plan.name,
+        "stages": [spec.layer for spec in plan.graph.stages],
+        "pipeline_depth": len(plan.graph),
+        "weight_bits": WEIGHT_BITS,
+        "num_requests": PIPELINE_NUM_REQUESTS,
+        "staged_sample": PIPELINE_STAGED_SAMPLE,
+        "max_batch": MAX_BATCH,
+        "num_workers": NUM_WORKERS,
+        "cpu_count": cpu_count,
+        "compile_s": compile_s,
+        "compile_stats": plan.compile_stats.as_dict(),
+        "staged_rps": staged_rps,
+        "pipelined_rps": pipelined_rps,
+        "speedup_vs_staged": pipelined_rps / staged_rps,
+        "speedup_gate": pipeline_speedup_gate(cpu_count),
+        "serving": report.as_dict(),
+    }
+    if write:
+        pipeline_output_path(scale).write_text(
+            json.dumps(results, indent=2) + "\n"
+        )
+    return results
+
+
+def check_pipeline(results: dict, baseline: dict) -> list:
+    """Gate a pipeline run: core-aware speedup + regression floor."""
+    failures = []
+    gate = results["speedup_gate"]
+    speedup = results["speedup_vs_staged"]
+    if gate is not None and speedup < gate:
+        failures.append(
+            f"pipelined serving is only {speedup:.2f}x the staged baseline "
+            f"on {results['cpu_count']} cores (gate {gate:.1f}x)"
+        )
+    pipeline = results["serving"].get("pipeline", {})
+    if pipeline.get("num_model_failed"):
+        failures.append(f"{pipeline['num_model_failed']} model requests failed")
+    if len(pipeline.get("stages", [])) != results["pipeline_depth"]:
+        failures.append("per-stage breakdown is missing stages")
+    baseline_rps = baseline.get("pipelined_rps")
+    if baseline_rps is not None:
+        floor = RPS_REGRESSION_FACTOR * baseline_rps
+        if results["pipelined_rps"] < floor:
+            failures.append(
+                f"pipelined throughput regressed: "
+                f"{results['pipelined_rps']:.0f} req/s vs baseline "
+                f"{baseline_rps:.0f} req/s (floor {floor:.0f})"
+            )
+    return failures
+
+
+def pipeline_main(scale: str, do_check: bool) -> None:
+    baseline = {}
+    if do_check and pipeline_output_path(scale).exists():
+        baseline = json.loads(pipeline_output_path(scale).read_text())
+    results = run_pipeline(scale=scale, write=True)
+    gate = results["speedup_gate"]
+    print(f"[{scale}] {results['model']}: {results['pipeline_depth']}-stage "
+          f"pipeline ({' -> '.join(results['stages'])}) on "
+          f"{results['cpu_count']} cores")
+    print(f"staged   : {results['staged_rps']:.1f} req/s (plan.run_model)")
+    print(f"pipelined: {results['pipelined_rps']:.1f} req/s "
+          f"-> {results['speedup_vs_staged']:.2f}x "
+          f"(gate {'none (single core)' if gate is None else f'{gate:.1f}x'})")
+    for stage in results["serving"].get("pipeline", {}).get("stages", []):
+        print(f"  stage[{stage['stage']}] {stage['layer']}: "
+              f"{stage['requests']} reqs, {stage['batches']} batches, "
+              f"{stage['occupancy']:.1%} occupancy")
+    print(f"wrote {pipeline_output_path(scale)}")
+    if do_check:
+        failures = check_pipeline(results, baseline)
+        for failure in failures:
+            print(f"GATE FAILED: {failure}")
+        if failures:
+            raise SystemExit(1)
+        print(f"[{scale}] all pipeline gates passed")
+
+
 def run_chaos_smoke(write: bool = True, execution: str = "threads") -> dict:
     """Seeded chaos smoke run: serve a synthetic plan under injected faults.
 
     Availability counts every client request (none are "injected" — faults
     target the serving infrastructure, not requests) that completes with an
-    output bit-identical to ``weight @ activation``.  Under
-    ``execution="processes"`` the scripted crash kills a real worker
-    process per shard (each shard runs its own decorrelated injector
-    clone), exercising process supervision and in-flight requeue.
+    output bit-identical to the two-stage reference
+    ``W1 @ (W0 @ activation)``.  Requests are whole-model: each flows
+    through both pipeline stages, so an injected fault or crash can land
+    mid-pipeline and the recovery machinery (retry, degraded oracle, worker
+    restart with in-flight requeue) must carry the request through its
+    remaining stages.  Under ``execution="processes"`` the scripted crash
+    kills a real worker process per shard (each shard runs its own
+    decorrelated injector clone).
     """
     num_requests = 128
     workload = synthetic_gemm_workload(
-        num_layers=2, n=64, k=48, m=4, weight_bits=4
+        num_layers=2, n=48, k=48, m=4, weight_bits=4
     )
-    plan = compile_workload(workload, seed=42)
+    plan = compile_workload(workload, seed=42, graph="chain")
     faults = FaultInjector(
         engine_fault_rate=0.3,
         latency_rate=0.2,
@@ -407,19 +581,20 @@ def run_chaos_smoke(write: bool = True, execution: str = "threads") -> dict:
         execution=execution,
     )
     rng = np.random.default_rng(11)
+    w0 = plan.layer("layer0").weight
+    w1 = plan.layer("layer1").weight
     succeeded = 0
     with server:
         submitted = []
-        for index in range(num_requests):
-            layer = f"layer{index % 2}"
+        for _ in range(num_requests):
             activation = rng.integers(-64, 64, size=(48, 2), dtype=np.int64)
-            submitted.append((server.submit(layer, activation), layer, activation))
-        for request, layer, activation in submitted:
+            submitted.append((server.submit(activation), activation))
+        for request, activation in submitted:
             try:
                 output = request.result(timeout=60.0)
             except Exception:  # noqa: BLE001 - counted as unavailability
                 continue
-            if np.array_equal(output, plan.layer(layer).weight @ activation):
+            if np.array_equal(output, w1 @ (w0 @ activation)):
                 succeeded += 1
     report = server.report()
     stats = faults.stats()
@@ -524,6 +699,14 @@ def main() -> None:
              "the throughput benchmark",
     )
     parser.add_argument(
+        "--model",
+        choices=["llama-block"],
+        default=None,
+        help="benchmark whole-model pipelined serving (the chained LLaMA-7B "
+             "block at --scale full, a synthetic four-stage chain at smoke) "
+             "against the staged plan.run_model baseline",
+    )
+    parser.add_argument(
         "--processes",
         type=int,
         nargs="?",
@@ -539,6 +722,9 @@ def main() -> None:
         chaos_main(
             execution="processes" if args.processes is not None else "threads"
         )
+        return
+    if args.model is not None:
+        pipeline_main(args.scale, args.check)
         return
     if args.processes is not None:
         mp_main(args.scale, args.processes, args.check)

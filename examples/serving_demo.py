@@ -1,15 +1,17 @@
 #!/usr/bin/env python
-"""Serving demo: compile a LLaMA block plan, fire concurrent requests.
+"""Serving demo: compile a LLaMA projection, fire concurrent model requests.
 
-Compiles the attention projections of the LLaMA-7B Transformer block (INT4
-weights) into a :class:`~repro.serving.ModelPlan` — each layer's weights are
-bit-sliced, static-scoreboarded and lowered to a compiled kernel (the
-autoselected backend is printed) once, offline — then spins up the
-thread-pool server and fires concurrent single-token requests at it from
-client threads.  The micro-batcher coalesces same-layer activations into
-single engine passes; every output is checked bit-exact against
-``weight @ activation`` before the :class:`~repro.serving.ServingReport` is
-printed.
+Compiles the Q projection of the LLaMA-7B Transformer block (INT4 weights)
+into a :class:`~repro.serving.ModelPlan` — the weights are bit-sliced,
+static-scoreboarded and lowered to a compiled kernel (the autoselected
+backend is printed) once, offline — then spins up the thread-pool server and
+fires concurrent model-level requests at it from client threads.  A
+single-layer plan serves as an implicit one-stage pipeline, so
+``server.submit(activation)`` needs no layer name.  The micro-batcher
+coalesces concurrent activations into single engine passes; every output is
+checked bit-exact against ``weight @ activation`` before the
+:class:`~repro.serving.ServingReport` (including the per-stage pipeline
+rows) is printed.
 
 Usage::
 
@@ -21,11 +23,11 @@ import time
 
 import numpy as np
 
-from repro.serving import Server, compile_workload
+from repro.serving import Server, SubmitOptions, compile_workload
 from repro.workloads import llama_fc_gemms
 
 MODEL = "llama1-7b"
-LAYERS = ["q_proj", "k_proj", "v_proj"]
+LAYER = "q_proj"
 NUM_REQUESTS = 48
 MAX_BATCH = 16
 NUM_WORKERS = 2
@@ -33,10 +35,10 @@ NUM_WORKERS = 2
 
 def main() -> None:
     workload = llama_fc_gemms(MODEL, weight_bits=4)
-    print(f"Compiling {MODEL} layers {LAYERS} (INT4 weights, static scoreboard)...")
+    print(f"Compiling {MODEL} layer {LAYER} (INT4 weights, static scoreboard)...")
     start = time.perf_counter()
-    plan = compile_workload(workload, layer_names=LAYERS, seed=42)
-    print(f"  compiled {len(plan)} layers in {time.perf_counter() - start:.2f}s "
+    plan = compile_workload(workload, layer_names=[LAYER], seed=42)
+    print(f"  compiled {len(plan)} layer in {time.perf_counter() - start:.2f}s "
           f"({plan.op_counts.total_transrows} TransRows scoreboarded once, "
           f"density {plan.op_counts.density:.1%})")
     stats = plan.compile_stats
@@ -46,20 +48,24 @@ def main() -> None:
           f"{stats.kernel_bytes / 1024:.1f} KiB)\n")
 
     rng = np.random.default_rng(0)
-    targets = [LAYERS[index % len(LAYERS)] for index in range(NUM_REQUESTS)]
+    shape = plan.layer(LAYER).shape
     activations = [
-        rng.integers(-128, 128, size=(plan.layer(layer).shape.k, 1), dtype=np.int64)
-        for layer in targets
+        rng.integers(-128, 128, size=(shape.k, 1), dtype=np.int64)
+        for _ in range(NUM_REQUESTS)
     ]
     outputs = [None] * NUM_REQUESTS
 
-    print(f"Serving {NUM_REQUESTS} concurrent single-token requests "
+    # Generous per-request deadline: requests that cannot be served in time
+    # are expired rather than left to queue forever.
+    options = SubmitOptions(deadline_s=600.0)
+
+    print(f"Serving {NUM_REQUESTS} concurrent single-token model requests "
           f"({NUM_WORKERS} workers, max_batch={MAX_BATCH})...")
     with Server(plan, num_workers=NUM_WORKERS, max_batch=MAX_BATCH,
                 max_pending=NUM_REQUESTS) as server:
 
         def client(index: int) -> None:
-            request = server.submit(targets[index], activations[index])
+            request = server.submit(activations[index], options=options)
             outputs[index] = request.result(timeout=600.0)
 
         threads = [
@@ -71,8 +77,9 @@ def main() -> None:
         for thread in threads:
             thread.join()
 
+    weight = plan.layer(LAYER).weight
     for index in range(NUM_REQUESTS):
-        expected = plan.layer(targets[index]).weight @ activations[index]
+        expected = weight @ activations[index]
         assert np.array_equal(outputs[index], expected), "serving must be bit-exact"
     print("  every output bit-identical to weight @ activation\n")
 

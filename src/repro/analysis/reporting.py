@@ -121,4 +121,24 @@ def format_serving_report(report: "ServingReport") -> str:
             if shard.restarts:
                 detail += f" / {shard.restarts} restarts"
             rows.append((f"shard[{shard.shard}]", detail))
+    if report.pipeline_depth or report.num_model_requests:
+        rows.append(("pipeline depth", report.pipeline_depth))
+        rows.append(
+            ("model requests",
+             f"{report.num_model_requests} done / "
+             f"{report.num_model_failed} failed")
+        )
+        rows.append(
+            ("model latency",
+             f"{report.model_latency_mean_s * 1e3:.1f} ms mean / "
+             f"{report.model_latency_p95_s * 1e3:.1f} ms p95 / "
+             f"{report.model_latency_p99_s * 1e3:.1f} ms p99")
+        )
+        for stage in report.stages:
+            rows.append(
+                (f"stage[{stage.stage}] {stage.layer}",
+                 f"{stage.requests} reqs / {stage.batches} batches / "
+                 f"{stage.compute_s * 1e3:.1f} ms compute / "
+                 f"{stage.occupancy:.1%} occupancy")
+            )
     return format_table(["metric", "value"], rows)

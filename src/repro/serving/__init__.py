@@ -6,12 +6,21 @@ scoreboard* was designed for: compile once, serve forever.
 * :mod:`repro.serving.plan` — offline compilation of any
   :class:`~repro.workloads.gemm.GemmWorkload` into a :class:`ModelPlan`
   (per-layer weights bit-sliced, scoreboarded and lowered to flat
-  :mod:`repro.kernels` executors once, with :class:`CompileStats` recording
+  :mod:`repro.kernels` executors once — optionally per-layer mixed
+  precision via ``quant_schemes=`` — with :class:`CompileStats` recording
   what that cost);
+* :mod:`repro.serving.graph` — the :class:`ModelGraph` of declared
+  inter-layer dataflow that turns a bag of compiled layers into a servable
+  pipeline (``graph="chain"`` at compile time for the common case);
 * :mod:`repro.serving.request` / :mod:`repro.serving.queue` — future-style
   requests and the bounded admission-controlled queue;
+* :mod:`repro.serving.model_request` — the model-level client surface:
+  :class:`SubmitOptions` and the :class:`ModelRequest` handle returned by
+  ``Server.submit(activation=...)`` (single forward pass or ``stream=N``
+  autoregressive decode steps);
 * :mod:`repro.serving.batcher` — the dynamic micro-batcher coalescing
-  same-layer activations into single engine passes;
+  same-layer activations into single engine passes (per-stage
+  micro-batching of pipelined requests comes through the same path);
 * :mod:`repro.serving.server` — the supervised :class:`Server` with two
   execution tiers (``"threads"`` and the GIL-free ``"processes"``), worker
   restarts, :meth:`Server.health` and drain/abort shutdown;
@@ -29,12 +38,14 @@ scoreboard* was designed for: compile once, serve forever.
 """
 
 from .plan import CompileStats, LayerPlan, ModelPlan, compile_workload
+from .graph import INPUT, ModelGraph, StageSpec
 from .request import Request
+from .model_request import ModelRequest, SubmitOptions
 from .queue import RequestQueue
 from .batcher import BatchExecution, MicroBatcher
 from .policy import DEFAULT_RETRY_POLICY, RetryPolicy
 from .faults import FaultInjector, FaultPlan, FaultStats
-from .report import ServingReport, ShardStats, build_report, percentile
+from .report import ServingReport, ShardStats, StageStats, build_report, percentile
 from .server import EXECUTION_MODES, Server, ServerHealth
 from .shm import ArraySpec, ShmRing, cleanup_orphan_segments
 from .process_pool import ProcessWorkerPool, ShardResult
@@ -44,7 +55,12 @@ __all__ = [
     "LayerPlan",
     "ModelPlan",
     "compile_workload",
+    "INPUT",
+    "ModelGraph",
+    "StageSpec",
     "Request",
+    "ModelRequest",
+    "SubmitOptions",
     "RequestQueue",
     "BatchExecution",
     "MicroBatcher",
@@ -55,6 +71,7 @@ __all__ = [
     "FaultStats",
     "ServingReport",
     "ShardStats",
+    "StageStats",
     "build_report",
     "percentile",
     "EXECUTION_MODES",

@@ -43,6 +43,9 @@ class BatchExecution:
     started_at: float
     finished_at: float
     op_counts: Optional[OpCounts]
+    #: Pure engine-pass time (excludes attribution/fulfilment); ``None`` when
+    #: the pass never ran.  Per-stage occupancy accounting reads this.
+    compute_s: Optional[float] = None
 
     @property
     def duration_s(self) -> float:
@@ -53,7 +56,7 @@ class BatchExecution:
 class MicroBatcher:
     """Executes coalesced same-layer request batches against a model plan."""
 
-    def __init__(self, plan: ModelPlan, faults: Optional[FaultInjector] = None) -> None:
+    def __init__(self, plan: ModelPlan, *, faults: Optional[FaultInjector] = None) -> None:
         self.plan = plan
         self.faults = faults
 
@@ -83,6 +86,7 @@ class MicroBatcher:
         report = self.plan.run_batch(
             layer, [request.activation for request in requests]
         )
+        compute_s = time.perf_counter() - started_at
         # Attribute before fulfilling anything: a failure here must fail
         # the whole batch consistently, never leave it half-delivered.
         attributions = [
@@ -101,6 +105,7 @@ class MicroBatcher:
             started_at=started_at,
             finished_at=finished_at,
             op_counts=report.op_counts,
+            compute_s=compute_s,
         )
 
     def execute(self, requests: List[Request]) -> BatchExecution:

@@ -1,0 +1,220 @@
+"""Model-level request handles for the redesigned ``submit()`` surface.
+
+A :class:`ModelRequest` is the client's future-style handle for one request
+routed through *every* stage of a compiled model's
+:class:`~repro.serving.graph.ModelGraph` (optionally for several
+autoregressive decode steps).  The server drives it: each pipeline stage is
+an ordinary per-layer :class:`~repro.serving.request.Request` flowing through
+the queue/batcher machinery, and as each stage completes the server advances
+the model request to the next stage (or the next decode step) until the
+final output is ready.
+
+Clients only ever see this class and :class:`SubmitOptions`; the per-stage
+requests are internal.  Everything that held for single-layer requests holds
+here too: deadlines shed un-dispatched stages, ``cancel()`` abandons the
+remaining pipeline, stage failures (including exhausted retries and degraded
+fallback errors) surface from :meth:`ModelRequest.result`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import RequestCancelledError, ServingError
+from .request import CANCELLED, DONE, FAILED, PENDING, RUNNING, Request
+
+
+@dataclass(frozen=True)
+class SubmitOptions:
+    """Options of one model-level submission (keyword construction only).
+
+    Parameters
+    ----------
+    deadline_s:
+        Relative deadline for the *whole* pipeline (all stages, all decode
+        steps); stages not dispatched before it elapses are shed with
+        :class:`~repro.errors.DeadlineExceededError`.
+    stream:
+        Autoregressive decode steps: step ``t``'s final output feeds step
+        ``t + 1``'s input.  Requires a streamable graph (last stage output
+        width equals first stage input width).  ``1`` (default) is a single
+        forward pass.
+    """
+
+    deadline_s: Optional[float] = None
+    stream: int = 1
+
+    def __post_init__(self) -> None:
+        if self.stream < 1:
+            raise ServingError(f"stream must be >= 1 decode steps, got {self.stream}")
+
+
+class ModelRequest:
+    """One in-flight whole-model request (future-style client handle)."""
+
+    def __init__(
+        self,
+        request_id: int,
+        model: str,
+        stages: Tuple[str, ...],
+        num_steps: int,
+        submitted_at: float,
+        deadline_at: Optional[float] = None,
+    ) -> None:
+        self.request_id = request_id
+        self.model = model
+        self.stages = stages
+        self.num_steps = num_steps
+        self.submitted_at = submitted_at
+        self.deadline_at = deadline_at
+        self.finished_at: Optional[float] = None
+        self.state = PENDING
+        #: Aggregated over stage requests: any-stage degraded / summed retries.
+        self.degraded = False
+        self.retries = 0
+        self._step_outputs: List[np.ndarray] = []
+        self._stage_outputs: Dict[str, np.ndarray] = {}
+        self._step_input: Optional[np.ndarray] = None
+        self._error: Optional[BaseException] = None
+        self._done = threading.Event()
+        self._lock = threading.Lock()
+        self._cancel_requested = False
+        self._current: Optional[Request] = None
+
+    # ------------------------------------------------------------ client API
+    @property
+    def pipeline_depth(self) -> int:
+        """Number of pipeline stages one decode step passes through."""
+        return len(self.stages)
+
+    def done(self) -> bool:
+        """Whether the model request has reached a terminal state."""
+        return self._done.is_set()
+
+    @property
+    def steps_completed(self) -> int:
+        """Decode steps whose final output is already available."""
+        with self._lock:
+            return len(self._step_outputs)
+
+    def result(self, timeout: Optional[float] = None) -> np.ndarray:
+        """Block for the final output (of the last decode step) and return it.
+
+        Raises the stage-side error if any pipeline stage failed, expired or
+        was cancelled, and :class:`~repro.errors.ServingError` if ``timeout``
+        elapses first.
+        """
+        return self.outputs(timeout)[-1]
+
+    def outputs(self, timeout: Optional[float] = None) -> List[np.ndarray]:
+        """Block for completion and return every decode step's final output.
+
+        For ``stream=1`` submissions this is a one-element list; the same
+        error contract as :meth:`result` applies.
+        """
+        if not self._done.wait(timeout):
+            raise ServingError(
+                f"model request {self.request_id} ('{self.model}') did not "
+                f"complete within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        with self._lock:
+            return list(self._step_outputs)
+
+    def cancel(self) -> bool:
+        """Abandon the rest of the pipeline.
+
+        Returns ``True`` if the cancellation will take effect (the model
+        request finishes with :class:`~repro.errors.RequestCancelledError`
+        once the stage currently in flight settles), ``False`` if the model
+        request already reached a terminal state.
+        """
+        with self._lock:
+            if self._done.is_set():
+                return False
+            self._cancel_requested = True
+            current = self._current
+        if current is not None:
+            # If the current stage is still queued this cancels it outright;
+            # if a worker already claimed it, the stage completes and the
+            # server honours the flag before scheduling the next stage.
+            current.cancel()
+        return True
+
+    @property
+    def latency_s(self) -> float:
+        """Submit-to-finish wall-clock latency of the whole pipeline."""
+        if self.finished_at is None:
+            raise ServingError(f"model request {self.request_id} has not finished")
+        return self.finished_at - self.submitted_at
+
+    # ------------------------------------------------------------ server API
+    def _set_current(self, request: Request) -> None:
+        with self._lock:
+            self._current = request
+        self.state = RUNNING
+
+    def _begin_step(self, activation: np.ndarray) -> None:
+        """Reset per-step dataflow state before (re)entering stage 0."""
+        with self._lock:
+            self._step_input = activation
+            self._stage_outputs = {}
+
+    def _record_stage(self, request: Request, layer: str, output: np.ndarray) -> None:
+        """Absorb one completed stage's output and fault-tolerance counters."""
+        with self._lock:
+            self._stage_outputs[layer] = output
+            self.retries += request.retries
+            self.degraded = self.degraded or request.degraded
+
+    def _stage_activation(self, source: str, is_input: bool) -> np.ndarray:
+        """Activation for the next stage from the declared dataflow source."""
+        with self._lock:
+            if is_input:
+                assert self._step_input is not None
+                return self._step_input
+            return self._stage_outputs[source]
+
+    def _finish_step(self, output: np.ndarray) -> None:
+        with self._lock:
+            self._step_outputs.append(output)
+
+    def _cancel_pending(self) -> bool:
+        with self._lock:
+            return self._cancel_requested
+
+    def _complete(self, finished_at: float) -> bool:
+        """Terminal transition to ``done``; returns whether this call won."""
+        with self._lock:
+            if self._done.is_set():
+                return False
+            self.state = DONE
+            self.finished_at = finished_at
+            self._done.set()
+            return True
+
+    def _fail(self, error: BaseException, finished_at: float, state: str = FAILED) -> bool:
+        with self._lock:
+            if self._done.is_set():
+                return False
+            self.state = state
+            self._error = error
+            self.finished_at = finished_at
+            self._done.set()
+            return True
+
+    def _cancelled(self, finished_at: float) -> bool:
+        return self._fail(
+            RequestCancelledError(
+                f"model request {self.request_id} ('{self.model}') was "
+                f"cancelled by the client mid-pipeline"
+            ),
+            finished_at,
+            state=CANCELLED,
+        )

@@ -13,20 +13,23 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..core.metrics import OpCounts
 from ..core.transitive_gemm import BatchedGemmReport, GemmPlan, TransitiveGemmEngine
 from ..errors import ServingError
+from ..quant.schemes import SCHEME_REGISTRY
 from ..transarray.accelerator import (
     GemmProfile,
     RequestAttribution,
     TransitiveArrayAccelerator,
 )
 from ..workloads.gemm import GemmShape, GemmWorkload
+from ..workloads.synthetic import outlier_weight_matrix
+from .graph import ModelGraph
 
 #: Weight provider signature: given a layer's GEMM shape, return its (N, K)
 #: integer weights (same contract as the accelerator's provider).
@@ -61,6 +64,14 @@ class CompileStats:
     kernel_backends: Tuple[str, ...]
     #: Per-layer compile seconds, in compilation order.
     per_layer_compile_s: Dict[str, float]
+    #: Per-layer effective weight bit widths, in compilation order.  With a
+    #: ``quant_schemes`` mapping this reflects the scheme's emitted codes
+    #: (widened when a scheme such as OliVe emits outlier codes past the
+    #: nominal range); plain layers report their shape's ``weight_bits``.
+    per_layer_bits: Dict[str, int] = field(default_factory=dict)
+    #: Quant scheme name per layer compiled through ``quant_schemes``
+    #: (absent layers kept their workload-native synthetic weights).
+    per_layer_scheme: Dict[str, str] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-serialisable form (embedded in serving reports/benches)."""
@@ -74,6 +85,8 @@ class CompileStats:
             "kernel_scatter_entries": self.kernel_scatter_entries,
             "kernel_backends": list(self.kernel_backends),
             "per_layer_compile_s": dict(self.per_layer_compile_s),
+            "per_layer_bits": dict(self.per_layer_bits),
+            "per_layer_scheme": dict(self.per_layer_scheme),
         }
 
 
@@ -115,8 +128,10 @@ class ModelPlan:
         workload: GemmWorkload,
         engine: TransitiveGemmEngine,
         layers: Sequence[LayerPlan],
+        *,
         accelerator: Optional[TransitiveArrayAccelerator] = None,
         compile_stats: Optional[CompileStats] = None,
+        graph: Optional[ModelGraph] = None,
     ) -> None:
         self.workload = workload
         self.engine = engine
@@ -132,6 +147,15 @@ class ModelPlan:
                     f"'{workload.name}'; serving requires unique layer names"
                 )
             self._layers[layer.name] = layer
+        if graph is not None:
+            missing = [name for name in graph.layers if name not in self._layers]
+            if missing:
+                raise ServingError(
+                    f"model graph references layer(s) {missing} not compiled "
+                    f"into plan '{workload.name}'; available: {list(self._layers)}"
+                )
+            graph.validate_shapes(lambda name: self._layers[name].shape)
+        self.graph = graph
 
     # ------------------------------------------------------------- pickling
     def __getstate__(self) -> Dict[str, object]:
@@ -180,6 +204,35 @@ class ModelPlan:
     def __len__(self) -> int:
         return len(self._layers)
 
+    # ----------------------------------------------------------- graph views
+    def _require_graph(self) -> ModelGraph:
+        if self.graph is None:
+            raise ServingError(
+                f"model plan '{self.name}' was compiled without a model graph; "
+                f"pass graph='chain' (or an explicit ModelGraph) to "
+                f"compile_workload() to serve it as a whole model"
+            )
+        return self.graph
+
+    @property
+    def input_dim(self) -> int:
+        """Activation height the model-level input must have (graph required)."""
+        graph = self._require_graph()
+        return self._layers[graph.stages[0].layer].shape.k
+
+    @property
+    def output_dim(self) -> int:
+        """Row count of the final stage's output (graph required)."""
+        graph = self._require_graph()
+        return self._layers[graph.stages[-1].layer].shape.n
+
+    @property
+    def streamable(self) -> bool:
+        """Whether decode streams can feed the output back as the next input."""
+        if self.graph is None:
+            return False
+        return self.output_dim == self.input_dim
+
     @property
     def op_counts(self) -> OpCounts:
         """Merged scoreboard counts of one pass over every compiled layer."""
@@ -208,6 +261,23 @@ class ModelPlan:
         """Execute a micro-batch of activations against one compiled layer."""
         layer = self.layer(layer_name)
         return self.engine.multiply_many(layer.gemm_plan, activations)
+
+    def run_model(self, activation: np.ndarray) -> np.ndarray:
+        """Run one activation through every graph stage, sequentially.
+
+        The non-overlapped reference execution: stage outputs are produced
+        one at a time on the calling thread, each via
+        :meth:`~repro.core.transitive_gemm.TransitiveGemmEngine.multiply_planned`.
+        The pipelined server is bit-identical to this by construction — it
+        routes the same per-stage calls through its workers, just overlapped
+        across requests.
+        """
+        graph = self._require_graph()
+        outputs: Dict[str, np.ndarray] = {}
+        for spec in graph.stages:
+            source = activation if spec.reads_input else outputs[spec.source]
+            outputs[spec.layer] = self.run(spec.layer, source)
+        return outputs[graph.stages[-1].layer]
 
     def attribute(self, layer_name: str, columns: int) -> Optional[RequestAttribution]:
         """Accelerator cycles/energy for a request, if profiles were compiled."""
@@ -249,18 +319,31 @@ class ModelPlan:
                 )
             return self._oracle
 
+def _bits_needed(values: np.ndarray) -> int:
+    """Smallest signed two's-complement width holding every value."""
+    lo = int(values.min()) if values.size else 0
+    hi = int(values.max()) if values.size else 0
+    bits = 2
+    while not (-(1 << (bits - 1)) <= lo and hi <= (1 << (bits - 1)) - 1):
+        bits += 1
+    return bits
+
+
 def compile_workload(
     workload: GemmWorkload,
+    *,
     engine: Optional[TransitiveGemmEngine] = None,
     weight_provider: Optional[WeightProvider] = None,
     layer_names: Optional[Sequence[str]] = None,
     accelerator: Optional[TransitiveArrayAccelerator] = None,
     seed: int = 2025,
     kernel_backend: Optional[str] = None,
+    graph: Union[ModelGraph, str, None] = None,
+    quant_schemes: Optional[Mapping[str, str]] = None,
 ) -> ModelPlan:
     """Compile a workload into a servable :class:`ModelPlan`, offline.
 
-    Parameters
+    Parameters (all keyword-only past ``workload``)
     ----------
     workload:
         Any :class:`~repro.workloads.gemm.GemmWorkload` (LLaMA FC block,
@@ -272,7 +355,9 @@ def compile_workload(
     weight_provider:
         Optional callable returning real ``(N, K)`` weights per layer;
         synthetic quantized weights are sampled otherwise (seeded, so a plan
-        is reproducible).
+        is reproducible).  With ``quant_schemes`` it may return *float*
+        weights for the scheme-quantized layers (quantization produces the
+        integer codes that are actually compiled).
     layer_names:
         Optional subset of layers to compile (e.g. just ``["q_proj"]`` of a
         Transformer block); the full workload is compiled by default.
@@ -286,6 +371,20 @@ def compile_workload(
         Explicit kernel backend name for every layer's lowering (defaults to
         the engine setting / ``REPRO_KERNEL_BACKEND`` / autoselection; see
         :mod:`repro.kernels`).
+    graph:
+        Inter-layer dataflow for whole-model serving: an explicit
+        :class:`~repro.serving.graph.ModelGraph`, or the string ``"chain"``
+        to pipe the compiled layers in order (each stage consumes the
+        previous stage's output).  Without a graph the plan serves
+        single-layer requests only.
+    quant_schemes:
+        Per-layer mixed precision: maps layer names to quant scheme names
+        from :data:`repro.quant.schemes.SCHEME_REGISTRY` (e.g.
+        ``{"gate_proj": "transarray-int4", "down_proj": "olive-8"}``).
+        Mapped layers get outlier-heavy float weights (provider or
+        synthetic) quantized through their scheme; the integer codes are
+        compiled at the *effective* width actually needed and
+        :class:`CompileStats` records per-layer bits and scheme names.
     """
     shapes = list(workload.layers())
     if layer_names is not None:
@@ -306,20 +405,62 @@ def compile_workload(
             fast=True,
             scoreboard_cache_entries=max(8, len(shapes)),
         )
+    schemes = dict(quant_schemes) if quant_schemes else {}
+    known = {shape.name for shape in shapes}
+    unknown_layers = sorted(name for name in schemes if name not in known)
+    if unknown_layers:
+        raise ServingError(
+            f"quant_schemes names layer(s) {unknown_layers} not in workload "
+            f"'{workload.name}'; available: {sorted(known)}"
+        )
+    unknown_schemes = sorted(
+        name for name in schemes.values() if name not in SCHEME_REGISTRY
+    )
+    if unknown_schemes:
+        raise ServingError(
+            f"unknown quant scheme(s) {unknown_schemes}; "
+            f"available: {sorted(SCHEME_REGISTRY)}"
+        )
     rng = np.random.default_rng(seed)
     layers: List[LayerPlan] = []
     per_layer_compile_s: Dict[str, float] = {}
+    per_layer_bits: Dict[str, int] = {}
+    per_layer_scheme: Dict[str, str] = {}
     compile_start = time.perf_counter()
     for shape in shapes:
-        if weight_provider is not None:
-            weight = np.asarray(weight_provider(shape))
-            if weight.shape != (shape.n, shape.k):
-                raise ServingError(
-                    f"weight provider returned shape {weight.shape} for layer "
-                    f"'{shape.name}', expected {(shape.n, shape.k)}"
+        scheme_name = schemes.get(shape.name)
+        if scheme_name is not None:
+            # Mixed precision: quantize a float weight tensor through the
+            # requested scheme and compile its integer codes.  Outlier-aware
+            # schemes (OliVe, ANT) may emit codes wider than the nominal
+            # width, so the compiled width is whatever the codes need.
+            if weight_provider is not None:
+                source = np.asarray(weight_provider(shape), dtype=np.float64)
+                if source.shape != (shape.n, shape.k):
+                    raise ServingError(
+                        f"weight provider returned shape {source.shape} for "
+                        f"layer '{shape.name}', expected {(shape.n, shape.k)}"
+                    )
+            else:
+                source = outlier_weight_matrix(
+                    shape.n, shape.k, seed=int(rng.integers(0, 2**31))
                 )
+            quantized = SCHEME_REGISTRY[scheme_name](source)
+            weight = np.asarray(quantized.values, dtype=np.int64)
+            effective_bits = max(quantized.bits, _bits_needed(weight))
+            shape = shape.with_precision(effective_bits)
+            per_layer_scheme[shape.name] = scheme_name
         else:
-            weight = workload.sample_weight(shape, rng)
+            if weight_provider is not None:
+                weight = np.asarray(weight_provider(shape))
+                if weight.shape != (shape.n, shape.k):
+                    raise ServingError(
+                        f"weight provider returned shape {weight.shape} for "
+                        f"layer '{shape.name}', expected {(shape.n, shape.k)}"
+                    )
+            else:
+                weight = workload.sample_weight(shape, rng)
+        per_layer_bits[shape.name] = shape.weight_bits
         layer_start = time.perf_counter()
         gemm_plan = engine.plan(
             weight, shape.weight_bits, kernel_backend=kernel_backend
@@ -344,11 +485,20 @@ def compile_workload(
         kernel_scatter_entries=sum(k.scatter_entries for k in kernels),
         kernel_backends=tuple(sorted({k.backend for k in kernels})),
         per_layer_compile_s=per_layer_compile_s,
+        per_layer_bits=per_layer_bits,
+        per_layer_scheme=per_layer_scheme,
     )
+    if isinstance(graph, str):
+        if graph != "chain":
+            raise ServingError(
+                f"graph must be a ModelGraph, 'chain' or None, got {graph!r}"
+            )
+        graph = ModelGraph.chain(layer.name for layer in layers)
     return ModelPlan(
         workload=workload,
         engine=engine,
         layers=layers,
         accelerator=accelerator,
         compile_stats=stats,
+        graph=graph,
     )

@@ -92,6 +92,9 @@ class _Shard:
     compute_s: float = 0.0
     dispatch_s: float = 0.0
     shm_fallbacks: int = 0
+    #: Engine-pass seconds per layer served by this shard (feeds the
+    #: per-pipeline-stage occupancy breakdown in process mode).
+    layer_compute_s: Dict[str, float] = field(default_factory=dict)
     _seq: int = 0
     lock: threading.Lock = field(default_factory=threading.Lock)
 
@@ -128,6 +131,7 @@ class ProcessWorkerPool:
     def __init__(
         self,
         plan: ModelPlan,
+        *,
         num_shards: int,
         max_batch_columns: int = 64,
         num_slots: int = 2,
@@ -316,6 +320,9 @@ class ProcessWorkerPool:
                 shard.requests += len(activations)
                 shard.compute_s += compute_s
                 shard.dispatch_s += max(roundtrip - compute_s, 0.0)
+                shard.layer_compute_s[layer] = (
+                    shard.layer_compute_s.get(layer, 0.0) + compute_s
+                )
             return ShardResult(
                 outputs=outputs,
                 op_counts=op_counts,
@@ -364,6 +371,7 @@ class ProcessWorkerPool:
                         "dispatch_s": shard.dispatch_s,
                         "restarts": shard.restarts,
                         "shm_fallbacks": shard.shm_fallbacks,
+                        "layer_compute_s": dict(shard.layer_compute_s),
                     }
                 )
         return stats

@@ -85,6 +85,19 @@ class RequestQueue:
             self._pending.extend(requests)
             self._condition.notify(len(requests))
 
+    def put_continuation(self, request: Request) -> None:
+        """Enqueue the next stage of an already-admitted pipelined request.
+
+        Admission control happened once, at stage 0: a model-level request
+        occupies one pipeline stage at a time, so its continuations must
+        never bounce off the admission bound (that would deadlock a full
+        pipeline against itself) nor off a closing queue mid-drain.  They
+        keep FIFO order at the tail like any other work.
+        """
+        with self._condition:
+            self._pending.append(request)
+            self._condition.notify()
+
     def requeue(self, requests: Iterable[Request]) -> None:
         """Return admitted-but-unexecuted requests to the head of the queue.
 

@@ -70,6 +70,42 @@ class ShardStats:
         }
 
 
+@dataclass(frozen=True)
+class StageStats:
+    """Per-pipeline-stage breakdown of one whole-model serving run.
+
+    One entry per :class:`~repro.serving.graph.ModelGraph` stage, aggregated
+    over every stage-level request the run routed through that stage.
+    ``occupancy`` is the fraction of the run's wall-clock the stage spent
+    inside engine passes — in a well-overlapped pipeline the occupancies sum
+    toward the worker count, while a serial (non-overlapped) execution keeps
+    their sum below 1.
+    """
+
+    stage: int
+    layer: str
+    requests: int
+    batches: int
+    compute_s: float
+    queue_wait_mean_s: float
+    latency_mean_s: float
+    latency_p95_s: float
+    occupancy: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "stage": self.stage,
+            "layer": self.layer,
+            "requests": self.requests,
+            "batches": self.batches,
+            "compute_s": self.compute_s,
+            "queue_wait_mean_s": self.queue_wait_mean_s,
+            "latency_mean_s": self.latency_mean_s,
+            "latency_p95_s": self.latency_p95_s,
+            "occupancy": self.occupancy,
+        }
+
+
 @dataclass
 class ServingReport:
     """Aggregate outcome of one serving run against a compiled plan.
@@ -123,6 +159,19 @@ class ServingReport:
     dispatch_s_total: float = 0.0
     #: Batches that fell back from shared-memory to pickle transport.
     shm_fallbacks: int = 0
+    #: Per-pipeline-stage breakdown (empty without whole-model requests).
+    stages: Tuple[StageStats, ...] = ()
+    #: Completed whole-model (pipelined) requests.
+    num_model_requests: int = 0
+    #: Whole-model requests that finished failed/expired/cancelled.
+    num_model_failed: int = 0
+    #: Model-level submit-to-finish latency over completed model requests.
+    model_latency_mean_s: float = 0.0
+    model_latency_p50_s: float = 0.0
+    model_latency_p95_s: float = 0.0
+    model_latency_p99_s: float = 0.0
+    #: Pipeline stages a model-level request passes through (0 = no graph).
+    pipeline_depth: int = 0
 
     @property
     def compute_fraction(self) -> float:
@@ -196,6 +245,17 @@ class ServingReport:
         summary["shm_fallbacks"] = self.shm_fallbacks
         if self.shards:
             summary["shards"] = [shard.as_dict() for shard in self.shards]
+        if self.pipeline_depth or self.num_model_requests or self.stages:
+            summary["pipeline"] = {
+                "depth": self.pipeline_depth,
+                "num_model_requests": self.num_model_requests,
+                "num_model_failed": self.num_model_failed,
+                "model_latency_mean_s": self.model_latency_mean_s,
+                "model_latency_p50_s": self.model_latency_p50_s,
+                "model_latency_p95_s": self.model_latency_p95_s,
+                "model_latency_p99_s": self.model_latency_p99_s,
+                "stages": [stage.as_dict() for stage in self.stages],
+            }
         return summary
 
 
@@ -223,6 +283,10 @@ def build_report(
     compile_stats: Optional[CompileStats] = None,
     execution: str = "threads",
     shards: Sequence[ShardStats] = (),
+    stages: Sequence[StageStats] = (),
+    model_latencies_s: Sequence[float] = (),
+    num_model_failed: int = 0,
+    pipeline_depth: int = 0,
 ) -> ServingReport:
     """Assemble a :class:`ServingReport` from raw serving-run samples.
 
@@ -273,4 +337,22 @@ def build_report(
         compute_s_total=sum(shard.compute_s for shard in shards),
         dispatch_s_total=sum(shard.dispatch_s for shard in shards),
         shm_fallbacks=sum(shard.shm_fallbacks for shard in shards),
+        stages=tuple(stages),
+        num_model_requests=len(model_latencies_s),
+        num_model_failed=num_model_failed,
+        model_latency_mean_s=(
+            sum(model_latencies_s) / len(model_latencies_s)
+            if model_latencies_s
+            else 0.0
+        ),
+        model_latency_p50_s=(
+            percentile(list(model_latencies_s), 50.0) if model_latencies_s else 0.0
+        ),
+        model_latency_p95_s=(
+            percentile(list(model_latencies_s), 95.0) if model_latencies_s else 0.0
+        ),
+        model_latency_p99_s=(
+            percentile(list(model_latencies_s), 99.0) if model_latencies_s else 0.0
+        ),
+        pipeline_depth=pipeline_depth,
     )

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -59,6 +59,13 @@ class Request:
         self.degraded: bool = False
         self.attribution: Optional[RequestAttribution] = None
         self.state = PENDING
+        #: Optional completion hook fired exactly once, *after* the terminal
+        #: transition and outside the state lock (the server uses it to
+        #: advance pipelined model requests to their next stage).
+        self.on_done: Optional[Callable[["Request"], None]] = None
+        #: Server-side pipeline bookkeeping (model request, step, stage) —
+        #: ``None`` for plain single-layer requests.
+        self.pipeline = None
         self._output: Optional[np.ndarray] = None
         self._error: Optional[BaseException] = None
         self._done = threading.Event()
@@ -100,7 +107,8 @@ class Request:
             )
             self.finished_at = time.perf_counter()
             self._done.set()
-            return True
+        self._fire_on_done()
+        return True
 
     def result(self, timeout: Optional[float] = None) -> np.ndarray:
         """Block until the output is available and return it.
@@ -143,16 +151,21 @@ class Request:
         the request is failed here (deadline enforcement's last line of
         defence; the queue normally sheds expired requests earlier).
         """
+        expired = False
         with self._state_lock:
             if self.state != PENDING:
                 return False
             if self.expired(started_at):
                 self._expire_locked(started_at)
-                return False
-            self.started_at = started_at
-            self.batch_size = batch_size
-            self.state = RUNNING
-            return True
+                expired = True
+            else:
+                self.started_at = started_at
+                self.batch_size = batch_size
+                self.state = RUNNING
+                return True
+        if expired:
+            self._fire_on_done()
+        return False
 
     def expire(self, now: float) -> bool:
         """Fail a pending request whose deadline elapsed before dispatch."""
@@ -160,7 +173,8 @@ class Request:
             if self.state != PENDING:
                 return False
             self._expire_locked(now)
-            return True
+        self._fire_on_done()
+        return True
 
     def _expire_locked(self, now: float) -> None:
         overrun = now - self.deadline_at if self.deadline_at is not None else 0.0
@@ -196,6 +210,7 @@ class Request:
             self.finished_at = finished_at
             self.state = DONE
             self._done.set()
+        self._fire_on_done()
 
     def fail(self, error: BaseException, finished_at: float) -> None:
         """Record a worker-side failure and wake the waiting client."""
@@ -206,3 +221,18 @@ class Request:
             self.finished_at = finished_at
             self.state = FAILED
             self._done.set()
+        self._fire_on_done()
+
+    def _fire_on_done(self) -> None:
+        """Invoke the completion hook, once, outside the state lock.
+
+        Terminal transitions all pass through here after releasing
+        ``_state_lock``, so a hook that inspects the request (or enqueues
+        follow-up work that touches other requests) can never deadlock
+        against the state machine.
+        """
+        hook = self.on_done
+        if hook is None:
+            return
+        self.on_done = None
+        hook(self)

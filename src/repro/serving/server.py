@@ -41,12 +41,26 @@ in the parent either way — a crashed shard process surfaces as a
 :class:`~repro.errors.WorkerCrashError`, takes the same requeue path as a
 crashed thread, and its shard is restarted on next dispatch.
 
+On top of both tiers sits **whole-model pipelined serving**: when the plan
+was compiled with a :class:`~repro.serving.graph.ModelGraph`, a model-level
+``submit(activation=...)`` routes one request through *every* graph stage.
+Each stage is an ordinary per-layer request flowing through the same
+queue/batcher/worker machinery, so per-stage micro-batching comes for free
+and different model requests occupy different pipeline stages concurrently —
+layer ``k`` of request ``i`` overlaps layer ``k - 1`` of request ``i + 1``.
+``stream=`` runs decode-style autoregressive steps (step ``t``'s output is
+step ``t + 1``'s input) through the same pipeline.
+
 Usage::
 
-    plan = compile_workload(llama_fc_gemms("llama1-7b"), layer_names=["q_proj"])
+    plan = compile_workload(
+        llama_block_gemms("llama1-7b"), graph="chain"
+    )
     with Server(plan, num_workers=2, max_batch=16) as server:
-        requests = [server.submit("q_proj", act, deadline_s=5.0) for act in activations]
-        outputs = [request.result(timeout=60.0) for request in requests]
+        handles = [
+            server.submit(activation=act, deadline_s=5.0) for act in activations
+        ]
+        outputs = [handle.result(timeout=60.0) for handle in handles]
     print(server.report().render())
 """
 
@@ -55,8 +69,9 @@ from __future__ import annotations
 import random
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -65,11 +80,13 @@ from ..errors import ServingError, WorkerCrashError
 from ..transarray.accelerator import RequestAttribution
 from .batcher import BatchExecution, MicroBatcher
 from .faults import FaultInjector
+from .graph import ModelGraph
+from .model_request import ModelRequest, SubmitOptions
 from .plan import ModelPlan
 from .policy import DEFAULT_RETRY_POLICY, RetryPolicy, deadline_at
 from .process_pool import ProcessWorkerPool
 from .queue import RequestQueue
-from .report import ServingReport, ShardStats, build_report
+from .report import ServingReport, ShardStats, StageStats, build_report
 from .request import CANCELLED, DONE, EXPIRED, FAILED, Request
 
 #: Valid ``Server(execution=...)`` tiers.
@@ -98,6 +115,15 @@ class _RequestRecord:
     retries: int
     degraded: bool
     attribution: Optional[RequestAttribution]
+
+
+@dataclass(frozen=True)
+class _ModelRecord:
+    """Scalar accounting snapshot of a finished whole-model request."""
+
+    state: str
+    latency_s: float
+    steps: int
 
 
 @dataclass
@@ -178,12 +204,16 @@ class ServerHealth:
 
 
 class Server:
-    """Request-batching inference server over one compiled model plan.
+    """Request-batching, pipeline-capable inference server over one plan.
 
-    Parameters
+    Parameters (all keyword-only past ``plan``)
     ----------
     plan:
-        The :class:`~repro.serving.plan.ModelPlan` to serve.
+        The :class:`~repro.serving.plan.ModelPlan` to serve.  With a
+        :class:`~repro.serving.graph.ModelGraph` attached (compiled via
+        ``graph=...``), model-level :meth:`submit` pipelines requests
+        through every stage; without one, only the single layer of a
+        one-layer plan (or the deprecated layer-level surface) is servable.
     num_workers:
         Worker threads draining the queue (each executes whole micro-batches).
     max_batch:
@@ -221,6 +251,7 @@ class Server:
     def __init__(
         self,
         plan: ModelPlan,
+        *,
         num_workers: int = 2,
         max_batch: int = 8,
         max_pending: int = 128,
@@ -281,6 +312,9 @@ class Server:
         self._next_id = 0
         self._records: List[_RequestRecord] = []
         self._batches: List[BatchExecution] = []
+        self._model_records: List[_ModelRecord] = []
+        self._implicit_graph: Optional[ModelGraph] = None
+        self._served_model_requests = False
         self._expired = 0
         self._cancelled = 0
         self._degraded = 0
@@ -390,21 +424,123 @@ class Server:
     # -------------------------------------------------------------- clients
     def submit(
         self,
+        layer: Union[str, np.ndarray, None] = None,
+        activation: Optional[np.ndarray] = None,
+        deadline_s: Optional[float] = None,
+        *,
+        model: Optional[str] = None,
+        stream: Optional[int] = None,
+        options: Optional[SubmitOptions] = None,
+    ) -> Union[ModelRequest, Request]:
+        """Admit one request against the compiled model.
+
+        The model-level surface (the default): ``submit(activation=act)``
+        routes the activation through every stage of the plan's
+        :class:`~repro.serving.graph.ModelGraph` and returns a
+        :class:`~repro.serving.model_request.ModelRequest` handle.  ``model=``
+        optionally names the plan being targeted (validated), ``stream=N``
+        runs ``N`` autoregressive decode steps (step ``t``'s output feeds
+        step ``t + 1``), and ``options=`` bundles both as a
+        :class:`~repro.serving.model_request.SubmitOptions` (explicit
+        keywords win).  Admission control applies at stage 0 only — a model
+        request occupies one pipeline stage at a time, so continuations
+        never bounce off the queue bound.
+
+        The deprecated layer-level surface: ``submit("q_proj", act)`` (first
+        positional a layer-name string) targets a single compiled layer and
+        returns a plain :class:`~repro.serving.request.Request`, emitting a
+        :class:`DeprecationWarning`.  Both surfaces validate shape/dtype up
+        front, honour ``deadline_s`` and may raise
+        :class:`~repro.errors.BackpressureError`.
+        """
+        if isinstance(layer, str):
+            warnings.warn(
+                "Server.submit(layer, activation) is deprecated; use the "
+                "model-level submit(activation=...) against a plan compiled "
+                "with graph=... (see docs/serving.md for the migration table)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if activation is None:
+                raise ServingError(
+                    "layer-level submit() needs an activation matrix"
+                )
+            return self._submit_layer(layer, activation, deadline_s)
+        if layer is not None:
+            if activation is not None:
+                raise ServingError(
+                    "submit() got two activations (positional and keyword); "
+                    "pass exactly one"
+                )
+            activation = layer
+        if activation is None:
+            raise ServingError("submit() needs an activation matrix")
+        return self._submit_model(
+            activation, deadline_s=deadline_s, model=model,
+            stream=stream, options=options,
+        )
+
+    def submit_many(
+        self,
+        layer: Union[str, List[np.ndarray], None] = None,
+        activations: Optional[List[np.ndarray]] = None,
+        deadline_s: Optional[float] = None,
+        *,
+        model: Optional[str] = None,
+        stream: Optional[int] = None,
+        options: Optional[SubmitOptions] = None,
+    ) -> Union[List[ModelRequest], List[Request]]:
+        """Admit a batch of requests atomically (all-or-nothing admission).
+
+        The model-level surface: ``submit_many(activations=[...])`` admits
+        one whole-model request per activation, with every stage-0 request
+        enqueued through a single
+        :meth:`~repro.serving.queue.RequestQueue.put_many` call — if the
+        batch does not fit under ``max_pending``, nothing is admitted and
+        :class:`~repro.errors.BackpressureError` is raised with every member
+        counted as rejected.  Returns the
+        :class:`~repro.serving.model_request.ModelRequest` handles in
+        submission order.
+
+        The deprecated layer-level surface ``submit_many("q_proj", [...])``
+        keeps the PR 8 contract for single-layer batches (and emits a
+        :class:`DeprecationWarning`).
+        """
+        if isinstance(layer, str):
+            warnings.warn(
+                "Server.submit_many(layer, activations) is deprecated; use "
+                "the model-level submit_many(activations=...) against a plan "
+                "compiled with graph=... (see docs/serving.md)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if activations is None:
+                raise ServingError(
+                    "layer-level submit_many() needs a list of activations"
+                )
+            return self._submit_layer_many(layer, activations, deadline_s)
+        if layer is not None:
+            if activations is not None:
+                raise ServingError(
+                    "submit_many() got two activation lists (positional and "
+                    "keyword); pass exactly one"
+                )
+            activations = layer
+        if activations is None:
+            raise ServingError("submit_many() needs a list of activations")
+        return self._submit_model_many(
+            activations, deadline_s=deadline_s, model=model,
+            stream=stream, options=options,
+        )
+
+    # ------------------------------------------------- layer-level (legacy)
+    def _submit_layer(
+        self,
         layer: str,
         activation: np.ndarray,
         deadline_s: Optional[float] = None,
     ) -> Request:
-        """Admit one activation request for a compiled layer.
-
-        Validates the target layer, activation shape and dtype up front, then
-        either enqueues the request or raises
-        :class:`~repro.errors.BackpressureError`.  ``deadline_s`` attaches a
-        relative deadline: if it elapses before a worker dispatches the
-        request, the request fails with
-        :class:`~repro.errors.DeadlineExceededError` without being computed.
-        Returns the future-style request handle; call :meth:`Request.result`
-        for the output and :meth:`Request.cancel` to abandon queued work.
-        """
+        """Admit one single-layer request (the pre-pipeline contract)."""
         with self._lock:
             self._check_accepting()
             request_id = self._next_id
@@ -417,23 +553,13 @@ class Server:
         self.queue.put(request)  # may raise BackpressureError
         return request
 
-    def submit_many(
+    def _submit_layer_many(
         self,
         layer: str,
         activations: List[np.ndarray],
         deadline_s: Optional[float] = None,
     ) -> List[Request]:
-        """Admit a batch of same-layer activations atomically.
-
-        Validates every activation up front, then admits the whole batch
-        through one :meth:`~repro.serving.queue.RequestQueue.put_many` call —
-        the queue lock is taken once per batch instead of once per request,
-        and admission is all-or-nothing: if the batch does not fit under
-        ``max_pending``, nothing is enqueued and
-        :class:`~repro.errors.BackpressureError` is raised with every member
-        counted as rejected.  Returns the request handles in submission
-        order.
-        """
+        """Admit a same-layer batch atomically (the pre-pipeline contract)."""
         activations = list(activations)
         if not activations:
             raise ServingError("submit_many needs at least one activation")
@@ -452,6 +578,255 @@ class Server:
         ]
         self.queue.put_many(requests)  # may raise BackpressureError
         return requests
+
+    # ------------------------------------------------- model-level pipeline
+    def _pipeline_graph(self) -> ModelGraph:
+        """The graph model requests flow through, building the implicit
+        single-layer chain when the plan has exactly one layer and no graph."""
+        if self.plan.graph is not None:
+            return self.plan.graph
+        if self._implicit_graph is None:
+            names = self.plan.layer_names()
+            if len(names) != 1:
+                raise ServingError(
+                    f"model plan '{self.plan.name}' has {len(names)} layers "
+                    f"but no model graph; recompile with graph='chain' (or "
+                    f"an explicit ModelGraph) to serve whole-model requests"
+                )
+            self._implicit_graph = ModelGraph.chain(names)
+        return self._implicit_graph
+
+    def _resolve_submit(
+        self,
+        deadline_s: Optional[float],
+        model: Optional[str],
+        stream: Optional[int],
+        options: Optional[SubmitOptions],
+    ) -> Tuple[ModelGraph, Optional[float], int]:
+        """Validate model-level submit parameters against the plan."""
+        opts = options if options is not None else SubmitOptions()
+        if deadline_s is None:
+            deadline_s = opts.deadline_s
+        steps = stream if stream is not None else opts.stream
+        if steps < 1:
+            raise ServingError(f"stream must be >= 1 decode steps, got {steps}")
+        if model is not None and model != self.plan.name:
+            raise ServingError(
+                f"this server serves model '{self.plan.name}', not '{model}'"
+            )
+        graph = self._pipeline_graph()
+        if steps > 1:
+            first = self.plan.layer(graph.stages[0].layer).shape
+            last = self.plan.layer(graph.stages[-1].layer).shape
+            if last.n != first.k:
+                raise ServingError(
+                    f"model '{self.plan.name}' is not streamable: the final "
+                    f"stage ('{last.name}') produces {last.n}-row outputs but "
+                    f"the first stage ('{first.name}') consumes {first.k}-row "
+                    f"inputs, so step outputs cannot feed the next step"
+                )
+        return graph, deadline_s, steps
+
+    def _build_model_request(
+        self,
+        request_id: int,
+        graph: ModelGraph,
+        activation: np.ndarray,
+        submitted_at: float,
+        deadline_s: Optional[float],
+        steps: int,
+    ) -> Tuple[ModelRequest, Request]:
+        """Wrap one validated activation into a model request + its stage-0
+        request (not yet enqueued)."""
+        first_layer = graph.stages[0].layer
+        stage0 = self._make_request(
+            request_id, first_layer, self.plan.layer(first_layer), activation,
+            submitted_at, deadline_s,
+        )
+        model_request = ModelRequest(
+            request_id=request_id,
+            model=self.plan.name,
+            stages=graph.layers,
+            num_steps=steps,
+            submitted_at=submitted_at,
+            deadline_at=stage0.deadline_at,
+        )
+        model_request._graph = graph
+        model_request._begin_step(stage0.activation)
+        stage0.pipeline = (model_request, 0, 0)
+        stage0.on_done = self._on_stage_done
+        model_request._set_current(stage0)
+        return model_request, stage0
+
+    def _submit_model(
+        self,
+        activation: np.ndarray,
+        deadline_s: Optional[float],
+        model: Optional[str],
+        stream: Optional[int],
+        options: Optional[SubmitOptions],
+    ) -> ModelRequest:
+        graph, deadline_s, steps = self._resolve_submit(
+            deadline_s, model, stream, options
+        )
+        with self._lock:
+            self._check_accepting()
+            request_id = self._next_id
+            self._next_id += 1
+            self._served_model_requests = True
+        model_request, stage0 = self._build_model_request(
+            request_id, graph, activation, time.perf_counter(), deadline_s, steps
+        )
+        self.queue.put(stage0)  # may raise BackpressureError
+        return model_request
+
+    def _submit_model_many(
+        self,
+        activations: List[np.ndarray],
+        deadline_s: Optional[float],
+        model: Optional[str],
+        stream: Optional[int],
+        options: Optional[SubmitOptions],
+    ) -> List[ModelRequest]:
+        activations = list(activations)
+        if not activations:
+            raise ServingError("submit_many needs at least one activation")
+        graph, deadline_s, steps = self._resolve_submit(
+            deadline_s, model, stream, options
+        )
+        with self._lock:
+            self._check_accepting()
+            first_id = self._next_id
+            self._next_id += len(activations)
+            self._served_model_requests = True
+        submitted_at = time.perf_counter()
+        pairs = [
+            self._build_model_request(
+                first_id + offset, graph, activation, submitted_at,
+                deadline_s, steps,
+            )
+            for offset, activation in enumerate(activations)
+        ]
+        self.queue.put_many([stage0 for _, stage0 in pairs])
+        return [model_request for model_request, _ in pairs]
+
+    def _on_stage_done(self, request: Request) -> None:
+        """Advance a pipelined model request when one of its stages settles.
+
+        Fired by the stage request's terminal transition (outside its state
+        lock), on whichever thread completed it — a worker fulfilling a
+        batch, the queue shedding an expired request, or a client cancelling.
+        Any error advancing the pipeline fails the model request rather than
+        the advancing thread.
+        """
+        model_request, step, stage_index = request.pipeline
+        try:
+            self._advance_model(model_request, request, step, stage_index)
+        except Exception as error:  # noqa: BLE001 - must not kill the caller
+            self._finish_model(model_request, error=error)
+
+    def _advance_model(
+        self,
+        model_request: ModelRequest,
+        request: Request,
+        step: int,
+        stage_index: int,
+    ) -> None:
+        graph: ModelGraph = model_request._graph
+        if request.state != DONE:
+            # The stage failed / expired / was cancelled: its error is the
+            # model request's error (deadlines and retries were already
+            # enforced at stage level, exactly as for single-layer requests).
+            try:
+                request.result(timeout=0)
+            except BaseException as error:  # noqa: BLE001 - forwarded
+                self._finish_model(model_request, error=error)
+                return
+            raise ServingError(
+                f"stage request {request.request_id} in state "
+                f"'{request.state}' reported no result and no error"
+            )  # pragma: no cover - state machine guarantees one of the two
+        output = request.result(timeout=0)
+        model_request._record_stage(request, request.layer, output)
+        if model_request._cancel_pending():
+            self._finish_model(model_request, cancelled=True)
+            return
+        next_stage = stage_index + 1
+        now = time.perf_counter()
+        if next_stage < len(graph.stages):
+            spec = graph.stages[next_stage]
+            activation = model_request._stage_activation(
+                spec.source, spec.reads_input
+            )
+            self._enqueue_stage(
+                model_request, spec.layer, activation, step, next_stage, now
+            )
+            return
+        # Last stage of this decode step.
+        model_request._finish_step(output)
+        next_step = step + 1
+        if next_step < model_request.num_steps:
+            model_request._begin_step(output)
+            first = graph.stages[0]
+            self._enqueue_stage(
+                model_request, first.layer, output, next_step, 0, now
+            )
+            return
+        self._finish_model(model_request)
+
+    def _enqueue_stage(
+        self,
+        model_request: ModelRequest,
+        layer: str,
+        activation: np.ndarray,
+        step: int,
+        stage_index: int,
+        now: float,
+    ) -> None:
+        """Build and enqueue one continuation stage request.
+
+        Continuations bypass admission control (the model request was
+        admitted at stage 0 and occupies one stage at a time) and carry the
+        model's *absolute* deadline, so a whole-pipeline deadline sheds
+        later stages exactly like queued single-layer requests.
+        """
+        with self._lock:
+            request_id = self._next_id
+            self._next_id += 1
+        stage_request = Request(
+            request_id=request_id,
+            layer=layer,
+            activation=activation,
+            submitted_at=now,
+            deadline_at=model_request.deadline_at,
+        )
+        stage_request.pipeline = (model_request, step, stage_index)
+        stage_request.on_done = self._on_stage_done
+        model_request._set_current(stage_request)
+        self.queue.put_continuation(stage_request)
+
+    def _finish_model(
+        self,
+        model_request: ModelRequest,
+        error: Optional[BaseException] = None,
+        cancelled: bool = False,
+    ) -> None:
+        now = time.perf_counter()
+        if cancelled:
+            won = model_request._cancelled(now)
+        elif error is not None:
+            won = model_request._fail(error, now)
+        else:
+            won = model_request._complete(now)
+        if not won:
+            return
+        record = _ModelRecord(
+            state=model_request.state,
+            latency_s=model_request.latency_s,
+            steps=model_request.steps_completed,
+        )
+        with self._lock:
+            self._model_records.append(record)
 
     def _check_accepting(self) -> None:
         """Reject submissions outside the started-and-open window (locked)."""
@@ -606,6 +981,7 @@ class Server:
             started_at=started_at,
             finished_at=finished_at,
             op_counts=result.op_counts,
+            compute_s=result.compute_s,
         )
 
     def _execute_resilient(
@@ -821,6 +1197,8 @@ class Server:
         with self._lock:
             records = list(self._records)
             batches = list(self._batches)
+            model_records = list(self._model_records)
+            served_models = self._served_model_requests
         done = [record for record in records if record.state == DONE]
         failed = sum(1 for record in records if record.state == FAILED)
         expired = sum(1 for record in records if record.state == EXPIRED)
@@ -859,16 +1237,27 @@ class Server:
         # precompiled scoreboard (hit); the misses are the offline scoreboard
         # compilations of the layers this run actually served.
         successful_batches = [b for b in batches if b.op_counts is not None]
+
+        wall_s = (
+            max(record.finished_at for record in records)
+            - min(record.submitted_at for record in records)
+            if records
+            else 0.0
+        )
+        stages: List[StageStats] = []
+        pipeline_depth = 0
+        graph = self.plan.graph
+        if graph is None and served_models:
+            graph = self._implicit_graph
+        if graph is not None:
+            pipeline_depth = len(graph)
+            stages = self._stage_stats(graph, records, batches, wall_s)
+        model_done = [r for r in model_records if r.state == DONE]
         return build_report(
             workload=self.plan.name,
             latencies_s=[record.latency_s for record in done],
             queue_delays_s=[record.queue_delay_s for record in done],
-            wall_s=(
-                max(record.finished_at for record in records)
-                - min(record.submitted_at for record in records)
-                if records
-                else 0.0
-            ),
+            wall_s=wall_s,
             total_columns=sum(record.columns for record in done),
             num_failed=failed,
             num_rejected=self.queue.rejected,
@@ -888,4 +1277,54 @@ class Server:
             compile_stats=getattr(self.plan, "compile_stats", None),
             execution=self.execution,
             shards=self._shard_stats(),
+            stages=stages,
+            model_latencies_s=[record.latency_s for record in model_done],
+            num_model_failed=len(model_records) - len(model_done),
+            pipeline_depth=pipeline_depth,
         )
+
+    @staticmethod
+    def _stage_stats(
+        graph: ModelGraph,
+        records: List[_RequestRecord],
+        batches: List[BatchExecution],
+        wall_s: float,
+    ) -> List[StageStats]:
+        """Per-pipeline-stage breakdown from the per-layer accounting.
+
+        Stages map 1:1 to layers in a model graph, so the stage's requests
+        are the records against its layer and its compute time is the summed
+        engine-pass time of that layer's batches.  ``occupancy`` divides by
+        the run's wall-clock: overlapped pipelines push the stage occupancies
+        toward the worker count, serial execution keeps their sum under 1.
+        """
+        wall = max(wall_s, 1e-12)
+        stages: List[StageStats] = []
+        for index, spec in enumerate(graph.stages):
+            layer_records = [r for r in records if r.layer == spec.layer]
+            layer_done = [r for r in layer_records if r.state == DONE]
+            layer_batches = [b for b in batches if b.layer == spec.layer]
+            compute_s = sum(
+                b.compute_s if b.compute_s is not None else b.duration_s
+                for b in layer_batches
+            )
+            latencies = [r.latency_s for r in layer_done]
+            waits = [r.queue_delay_s for r in layer_done]
+            stages.append(
+                StageStats(
+                    stage=index,
+                    layer=spec.layer,
+                    requests=len(layer_done),
+                    batches=len(layer_batches),
+                    compute_s=compute_s,
+                    queue_wait_mean_s=sum(waits) / len(waits) if waits else 0.0,
+                    latency_mean_s=(
+                        sum(latencies) / len(latencies) if latencies else 0.0
+                    ),
+                    latency_p95_s=(
+                        float(np.percentile(latencies, 95.0)) if latencies else 0.0
+                    ),
+                    occupancy=compute_s / wall,
+                )
+            )
+        return stages

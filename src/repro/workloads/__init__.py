@@ -5,10 +5,17 @@ from .llama import (
     LLAMA_MODELS,
     LlamaConfig,
     llama_attention_gemms,
+    llama_block_gemms,
     llama_fc_gemms,
     llama_model,
 )
-from .resnet import RESNET18_LAYERS, ConvLayer, im2col_gemm_shape, resnet18_gemms
+from .resnet import (
+    RESNET18_LAYERS,
+    ConvLayer,
+    im2col_gemm_shape,
+    resnet18_gemms,
+    resnet_stack_gemms,
+)
 from .attention import attention_gemms
 from .synthetic import (
     gaussian_weight_matrix,
@@ -25,12 +32,14 @@ __all__ = [
     "LLAMA_MODELS",
     "LlamaConfig",
     "llama_attention_gemms",
+    "llama_block_gemms",
     "llama_fc_gemms",
     "llama_model",
     "RESNET18_LAYERS",
     "ConvLayer",
     "im2col_gemm_shape",
     "resnet18_gemms",
+    "resnet_stack_gemms",
     "attention_gemms",
     "gaussian_weight_matrix",
     "outlier_weight_matrix",

@@ -9,7 +9,7 @@ dimensions below come from the published model configurations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..errors import WorkloadError
 from .gemm import GemmShape, GemmWorkload
@@ -129,6 +129,56 @@ def llama_attention_gemms(
         ),
     ]
     return GemmWorkload(name=f"{name}-attention", gemms=shapes)
+
+
+def llama_block_gemms(
+    name: str,
+    *,
+    sequence_length: int = 1,
+    weight_bits: int = 8,
+    activation_bits: int = 8,
+    config: Optional[LlamaConfig] = None,
+) -> GemmWorkload:
+    """One LLaMA Transformer block as a *chainable* GEMM pipeline.
+
+    The whole-model serving workload: five stages wired so each stage's
+    output rows feed the next stage's reduction dimension, compilable with
+    ``graph="chain"`` and servable end-to-end
+    (QKV projection → attention score → output projection → MLP up →
+    MLP down).  The folding that makes the block a single dimensional chain:
+
+    * ``qkv_proj`` folds the Q/K/V projections onto the Q path — one
+      ``(hidden, hidden)`` GEMM standing for the fused QKV projection;
+    * ``attn_score`` folds the per-head ``Q @ K^T`` / ``P @ V`` score GEMMs
+      across heads with the K/V cache as the static (weight) operand, kept
+      at ``(hidden, hidden)`` so heads concatenate back to the hidden size;
+    * ``gate_proj`` / ``down_proj`` are the MLP pair,
+      ``(intermediate, hidden)`` then ``(hidden, intermediate)``.
+
+    Elementwise glue (RMSNorm, rotary embeddings, SiLU, residual adds) is
+    elided — this reproduction serves the GEMM pipeline, which is where the
+    transitive-array execution happens.  ``sequence_length`` is the
+    activation column count per request (1 = decode-style single token,
+    which also makes the workload streamable: the final ``down_proj``
+    output is ``hidden``-row, matching the first stage's input).
+
+    ``config=`` substitutes a custom :class:`LlamaConfig` (tiny test
+    configurations); ``name`` is then only used when the config is looked
+    up, and the workload is named after the config.
+    """
+    cfg = config if config is not None else llama_model(name)
+    if sequence_length < 1:
+        raise WorkloadError("sequence length must be positive")
+    hidden = cfg.hidden_size
+    inter = cfg.intermediate_size
+    shapes = [
+        GemmShape("qkv_proj", hidden, hidden, sequence_length, weight_bits, activation_bits),
+        GemmShape("attn_score", hidden, hidden, sequence_length, weight_bits, activation_bits),
+        GemmShape("o_proj", hidden, hidden, sequence_length, weight_bits, activation_bits),
+        GemmShape("gate_proj", inter, hidden, sequence_length, weight_bits, activation_bits),
+        GemmShape("down_proj", hidden, inter, sequence_length, weight_bits, activation_bits),
+    ]
+    return GemmWorkload(name=f"{cfg.name}-block", gemms=shapes)
 
 
 def fc_evaluation_models() -> List[str]:

@@ -1,0 +1,194 @@
+"""The redesigned serving API surface: exports, keyword-only constructors,
+deprecation shims, submit validation and the ModelGraph contract."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.serving as serving
+from repro.errors import ServingError
+from repro.serving import (
+    INPUT,
+    MicroBatcher,
+    ModelGraph,
+    ModelRequest,
+    ProcessWorkerPool,
+    Server,
+    StageSpec,
+    SubmitOptions,
+    compile_workload,
+)
+from repro.serving.request import Request
+from repro.workloads import synthetic_gemm_workload
+
+
+def _plan(num_layers=1, n=8, k=8, **kwargs):
+    workload = synthetic_gemm_workload(
+        num_layers=num_layers, n=n, k=k, m=1, weight_bits=4
+    )
+    return compile_workload(workload, seed=3, **kwargs)
+
+
+class TestExports:
+    def test_all_names_import(self):
+        for name in serving.__all__:
+            assert hasattr(serving, name), name
+
+    def test_redesigned_surface_is_exported(self):
+        for name in ("compile_workload", "Server", "SubmitOptions",
+                     "ModelRequest", "ModelGraph", "StageSpec", "INPUT",
+                     "StageStats"):
+            assert name in serving.__all__
+
+
+class TestKeywordOnlyConstructors:
+    def test_server_rejects_positional_config(self):
+        plan = _plan()
+        with pytest.raises(TypeError):
+            Server(plan, 2)
+
+    def test_compile_workload_rejects_positional_config(self):
+        workload = synthetic_gemm_workload(
+            num_layers=1, n=8, k=8, m=1, weight_bits=4
+        )
+        with pytest.raises(TypeError):
+            compile_workload(workload, None)
+
+    def test_micro_batcher_rejects_positional_faults(self):
+        plan = _plan()
+        with pytest.raises(TypeError):
+            MicroBatcher(plan, None)
+
+    def test_process_pool_rejects_positional_shards(self):
+        plan = _plan()
+        with pytest.raises(TypeError):
+            ProcessWorkerPool(plan, 2)
+
+
+class TestDeprecationShims:
+    def test_layer_submit_warns_and_still_serves(self):
+        plan = _plan()
+        activation = np.arange(8, dtype=np.int64).reshape(8, 1)
+        with Server(plan, num_workers=1, max_batch=2) as server:
+            with pytest.warns(DeprecationWarning, match="submit"):
+                request = server.submit("layer0", activation)
+            assert isinstance(request, Request)
+            assert np.array_equal(
+                request.result(timeout=10.0),
+                plan.layer("layer0").weight @ activation,
+            )
+
+    def test_layer_submit_many_warns_and_still_serves(self):
+        plan = _plan()
+        activations = [
+            np.full((8, 1), fill, dtype=np.int64) for fill in (1, 2, 3)
+        ]
+        with Server(plan, num_workers=1, max_batch=4) as server:
+            with pytest.warns(DeprecationWarning, match="submit_many"):
+                requests = server.submit_many("layer0", activations)
+            weight = plan.layer("layer0").weight
+            for request, activation in zip(requests, activations):
+                assert np.array_equal(
+                    request.result(timeout=10.0), weight @ activation
+                )
+
+    def test_model_submit_does_not_warn(self):
+        plan = _plan()
+        activation = np.ones((8, 1), dtype=np.int64)
+        with Server(plan, num_workers=1, max_batch=2) as server:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", DeprecationWarning)
+                request = server.submit(activation)
+                assert isinstance(request, ModelRequest)
+                request.result(timeout=10.0)
+
+
+class TestSubmitValidation:
+    def test_model_name_is_validated(self):
+        plan = _plan()
+        activation = np.ones((8, 1), dtype=np.int64)
+        with Server(plan, num_workers=1, max_batch=2) as server:
+            request = server.submit(activation, model=plan.name)
+            request.result(timeout=10.0)
+            with pytest.raises(ServingError, match="serves model"):
+                server.submit(activation, model="some-other-model")
+
+    def test_layer_and_activation_positional_conflict(self):
+        plan = _plan()
+        activation = np.ones((8, 1), dtype=np.int64)
+        with Server(plan, num_workers=1, max_batch=2) as server:
+            with pytest.raises(ServingError):
+                server.submit(activation, activation)
+
+    def test_stream_requires_streamable_graph(self):
+        plan = _plan(n=6, k=8)  # 8 -> 6: output cannot feed the input
+        activation = np.ones((8, 1), dtype=np.int64)
+        with Server(plan, num_workers=1, max_batch=2) as server:
+            with pytest.raises(ServingError, match="not streamable"):
+                server.submit(activation, stream=2)
+
+    def test_options_bundle_and_explicit_keywords_win(self):
+        plan = _plan()
+        activation = np.ones((8, 1), dtype=np.int64)
+        options = SubmitOptions(stream=3)
+        with Server(plan, num_workers=1, max_batch=4) as server:
+            streamed = server.submit(activation, options=options)
+            assert len(streamed.outputs(timeout=10.0)) == 3
+            single = server.submit(activation, stream=1, options=options)
+            assert len(single.outputs(timeout=10.0)) == 1
+
+    def test_submit_options_validation(self):
+        with pytest.raises(ServingError):
+            SubmitOptions(stream=0)
+        options = SubmitOptions(deadline_s=1.0, stream=2)
+        assert options.deadline_s == 1.0
+        with pytest.raises(Exception):
+            options.stream = 5  # frozen
+
+
+class TestModelGraphContract:
+    def test_chain_wires_each_stage_to_the_previous(self):
+        graph = ModelGraph.chain(["a", "b", "c"])
+        assert graph.layers == ("a", "b", "c")
+        assert graph.stages[0].source == INPUT
+        assert graph.stages[1].source == "a"
+        assert graph.stages[2].source == "b"
+        assert len(graph) == 3
+        assert "a -> b -> c" in graph.describe() or "a" in graph.describe()
+
+    def test_bare_strings_wire_as_chain(self):
+        assert ModelGraph(["x", "y"]) == ModelGraph.chain(["x", "y"])
+
+    def test_validation_rejects_bad_graphs(self):
+        with pytest.raises(ServingError):
+            ModelGraph([])
+        with pytest.raises(ServingError):
+            ModelGraph(["a", "a"])  # duplicate stage
+        with pytest.raises(ServingError):
+            ModelGraph([StageSpec("a", source="b"), StageSpec("b")])
+        with pytest.raises(ServingError):
+            ModelGraph([StageSpec(INPUT)])
+
+    def test_compile_rejects_unknown_graph_layers(self):
+        workload = synthetic_gemm_workload(
+            num_layers=2, n=8, k=8, m=1, weight_bits=4
+        )
+        with pytest.raises(ServingError):
+            compile_workload(
+                workload, seed=3, graph=ModelGraph.chain(["layer0", "nope"])
+            )
+
+    def test_compile_rejects_dimension_mismatch(self):
+        workload = synthetic_gemm_workload(
+            num_layers=2, n=6, k=8, m=1, weight_bits=4
+        )  # 6-row outputs cannot feed an 8-row reduction
+        with pytest.raises(ServingError):
+            compile_workload(workload, seed=3, graph="chain")
+
+    def test_compile_rejects_unknown_graph_string(self):
+        workload = synthetic_gemm_workload(
+            num_layers=1, n=8, k=8, m=1, weight_bits=4
+        )
+        with pytest.raises(ServingError):
+            compile_workload(workload, seed=3, graph="ring")

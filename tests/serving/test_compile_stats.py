@@ -52,7 +52,8 @@ class TestCompileStats:
         assert set(stats) == {
             "num_layers", "compile_s", "lowering_s", "kernel_bytes",
             "kernel_slots", "kernel_dense_slots", "kernel_scatter_entries",
-            "kernel_backends", "per_layer_compile_s",
+            "kernel_backends", "per_layer_compile_s", "per_layer_bits",
+            "per_layer_scheme",
         }
         assert isinstance(stats["kernel_backends"], list)
 

@@ -1,0 +1,108 @@
+"""Per-layer mixed precision through ``compile_workload(quant_schemes=...)``.
+
+Scheme-quantized layers carry their scheme's emitted integer codes as the
+compiled weights (so serving stays bit-exact over those codes) and
+``CompileStats`` records the effective per-layer bit widths and scheme
+names for every layer — quantized or not.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import Server, compile_workload
+from repro.workloads import LlamaConfig, llama_block_gemms, synthetic_gemm_workload
+
+TINY = LlamaConfig("tiny-llama", hidden_size=32, intermediate_size=48,
+                   num_attention_heads=4, num_key_value_heads=4, num_layers=2)
+
+MIXED = {
+    "qkv_proj": "transarray-int4",
+    "attn_score": "transarray-int4",
+    "o_proj": "transarray-int4",
+    "gate_proj": "transarray-int8",
+    "down_proj": "transarray-int8",
+}
+
+
+def _mixed_plan(**kwargs):
+    workload = llama_block_gemms(TINY.name, config=TINY, weight_bits=4)
+    return compile_workload(
+        workload, seed=5, graph="chain", quant_schemes=MIXED, **kwargs
+    )
+
+
+class TestCompileStatsPrecision:
+    def test_per_layer_bits_and_schemes_recorded(self):
+        plan = _mixed_plan()
+        stats = plan.compile_stats
+        assert set(stats.per_layer_bits) == set(MIXED)
+        assert stats.per_layer_scheme == MIXED
+        # INT4 schemes stay narrow; INT8 schemes are wider.
+        assert stats.per_layer_bits["qkv_proj"] <= stats.per_layer_bits["gate_proj"]
+        for layer in MIXED:
+            assert stats.per_layer_bits[layer] == plan.layer(layer).shape.weight_bits
+        as_dict = stats.as_dict()
+        assert as_dict["per_layer_bits"] == stats.per_layer_bits
+        assert as_dict["per_layer_scheme"] == MIXED
+
+    def test_unquantized_layers_still_report_bits(self):
+        workload = synthetic_gemm_workload(
+            num_layers=2, n=8, k=8, m=1, weight_bits=5
+        )
+        plan = compile_workload(workload, seed=3)
+        stats = plan.compile_stats
+        assert set(stats.per_layer_bits) == {"layer0", "layer1"}
+        assert stats.per_layer_scheme == {}
+
+    def test_partial_mapping_mixes_schemed_and_plain_layers(self):
+        workload = llama_block_gemms(TINY.name, config=TINY, weight_bits=4)
+        plan = compile_workload(
+            workload, seed=5, graph="chain",
+            quant_schemes={"gate_proj": "transarray-int8"},
+        )
+        stats = plan.compile_stats
+        assert stats.per_layer_scheme == {"gate_proj": "transarray-int8"}
+        assert set(stats.per_layer_bits) == set(MIXED)  # every layer
+
+
+class TestMixedPrecisionServing:
+    def test_served_outputs_match_quantized_weights_bit_exactly(self):
+        plan = _mixed_plan()
+        rng = np.random.default_rng(19)
+        activations = [
+            rng.integers(-16, 16, size=(plan.input_dim, 1), dtype=np.int64)
+            for _ in range(4)
+        ]
+        with Server(plan, num_workers=2, max_batch=2,
+                    max_pending=8) as server:
+            requests = [server.submit(act) for act in activations]
+            outputs = [r.result(timeout=30.0) for r in requests]
+        for activation, output in zip(activations, outputs):
+            assert np.array_equal(output, plan.run_model(activation))
+
+    def test_quantized_weights_respect_scheme_range(self):
+        plan = _mixed_plan()
+        for layer, scheme in MIXED.items():
+            weight = plan.layer(layer).weight
+            bits = plan.compile_stats.per_layer_bits[layer]
+            bound = 2 ** (bits - 1)
+            assert weight.min() >= -bound and weight.max() < bound, (
+                f"{layer} codes exceed the {scheme} range"
+            )
+
+
+class TestMixedPrecisionValidation:
+    def test_unknown_scheme_is_rejected(self):
+        workload = llama_block_gemms(TINY.name, config=TINY, weight_bits=4)
+        with pytest.raises(ServingError, match="scheme"):
+            compile_workload(
+                workload, seed=5, quant_schemes={"qkv_proj": "nonesuch-3"}
+            )
+
+    def test_unknown_layer_is_rejected(self):
+        workload = llama_block_gemms(TINY.name, config=TINY, weight_bits=4)
+        with pytest.raises(ServingError, match="not in workload"):
+            compile_workload(
+                workload, seed=5, quant_schemes={"embedding": "transarray-int4"}
+            )
