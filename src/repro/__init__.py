@@ -54,6 +54,7 @@ from .errors import (
     RequestCancelledError,
     ScoreboardError,
     ServingError,
+    ShedError,
     SimulationError,
     TransientServingError,
     WorkerCrashError,
@@ -98,6 +99,7 @@ __all__ = [
     "RequestCancelledError",
     "ScoreboardError",
     "ServingError",
+    "ShedError",
     "SimulationError",
     "TransientServingError",
     "WorkerCrashError",

@@ -64,6 +64,7 @@ def format_serving_report(report: "ServingReport") -> str:
         ("activation columns", report.total_columns),
         ("wall time", f"{report.wall_s:.3f} s"),
         ("throughput", f"{report.throughput_rps:.1f} req/s"),
+        ("goodput (deadline-met)", f"{report.goodput_rps:.1f} req/s"),
         ("column throughput", f"{report.throughput_cols_per_s:.1f} cols/s"),
         ("latency mean", f"{report.latency_mean_s * 1e3:.1f} ms"),
         ("latency p50", f"{report.latency_p50_s * 1e3:.1f} ms"),
@@ -102,6 +103,24 @@ def format_serving_report(report: "ServingReport") -> str:
                                 f"({stats.lowering_s * 1e3:.1f} ms lowering)")
         )
         rows.append(("compiled kernel size", f"{stats.kernel_bytes / 1024:.1f} KiB"))
+    if report.num_shed or report.num_admission_shed:
+        rows.append(
+            ("requests shed (overload)",
+             f"{report.num_shed} post-admission / "
+             f"{report.num_admission_shed} at admission")
+        )
+    if report.goodput_by_priority:
+        for priority, goodput in sorted(report.goodput_by_priority.items()):
+            rows.append((f"goodput[p{priority}]", f"{goodput:.1f} req/s"))
+    if report.breaker_state != "disabled":
+        rows.append(
+            ("degraded-path breaker",
+             f"{report.breaker_state} ({report.breaker_trips} trips)")
+        )
+    if report.num_plan_swaps:
+        rows.append(("plan swaps (zero-downtime)", report.num_plan_swaps))
+    if report.num_force_aborted:
+        rows.append(("force-aborted at close", report.num_force_aborted))
     rows.append(("execution tier", report.execution))
     if report.shards:
         rows.append(

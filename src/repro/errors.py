@@ -53,6 +53,21 @@ class BackpressureError(ServingError):
     """Raised by admission control when the bounded request queue is full."""
 
 
+class ShedError(ServingError):
+    """Raised when the overload-control layer sheds a request.
+
+    Unlike :class:`BackpressureError` (the queue is simply full), a shed is a
+    *decision*: the admission controller judged the request doomed to miss its
+    deadline, its priority class is being browned out, or the degraded-path
+    circuit breaker is open.  ``retry_after_s`` is the server's hint for when
+    retrying is worth it — brownout, not cliff.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
 class TransientServingError(ServingError):
     """A serving failure expected to clear on its own (worth retrying).
 

@@ -28,10 +28,14 @@ scoreboard* was designed for: compile once, serve forever.
   process-sharded tier: shared-memory activation/result rings
   (:class:`ShmRing`) and the :class:`ProcessWorkerPool` of plan-replica
   worker processes;
-* :mod:`repro.serving.policy` — per-request deadlines and the
-  :class:`RetryPolicy` applied around batch execution;
+* :mod:`repro.serving.policy` — per-request deadlines, the
+  :class:`RetryPolicy` applied around batch execution, and the
+  overload-resilience pieces: the :class:`AdmissionController` behind
+  adaptive load shedding / QoS brownout and the :class:`CircuitBreaker`
+  guarding the degraded-oracle fallback;
 * :mod:`repro.serving.faults` — the :class:`FaultInjector` chaos-testing
-  harness (injected engine faults, worker crashes, artificial latency);
+  harness (injected engine faults, worker crashes, artificial latency) and
+  the seeded open-loop :class:`ArrivalSchedule` overload scenarios;
 * :mod:`repro.serving.report` — throughput / latency-percentile / energy /
   fault-tolerance accounting rendered by
   :func:`repro.analysis.format_serving_report`.
@@ -43,8 +47,16 @@ from .request import Request
 from .model_request import ModelRequest, SubmitOptions
 from .queue import RequestQueue
 from .batcher import BatchExecution, MicroBatcher
-from .policy import DEFAULT_RETRY_POLICY, RetryPolicy
-from .faults import FaultInjector, FaultPlan, FaultStats
+from .policy import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    DEFAULT_RETRY_POLICY,
+    AdmissionController,
+    CircuitBreaker,
+    RetryPolicy,
+)
+from .faults import ArrivalSchedule, FaultInjector, FaultPlan, FaultStats
 from .report import ServingReport, ShardStats, StageStats, build_report, percentile
 from .server import EXECUTION_MODES, Server, ServerHealth
 from .shm import ArraySpec, ShmRing, cleanup_orphan_segments
@@ -66,6 +78,12 @@ __all__ = [
     "MicroBatcher",
     "DEFAULT_RETRY_POLICY",
     "RetryPolicy",
+    "AdmissionController",
+    "CircuitBreaker",
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
+    "ArrivalSchedule",
     "FaultInjector",
     "FaultPlan",
     "FaultStats",

@@ -25,11 +25,83 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Mapping, Optional
+from typing import Iterator, Mapping, Optional, Tuple
 
 import numpy as np
 
 from ..errors import InjectedFaultError, ServingError, WorkerCrashError
+
+
+@dataclass(frozen=True)
+class ArrivalSchedule:
+    """Open-loop arrival offsets for load scenarios (seconds from t=0).
+
+    Closed-loop load generators (submit, wait, submit again) self-throttle
+    the moment the server saturates, so they can never observe overload
+    behaviour.  An arrival *schedule* decouples offered load from service
+    rate: the driver submits request ``i`` at ``offsets_s[i]`` regardless of
+    how the previous ones fared — the open-loop model real traffic follows.
+    Constructors are seeded, so a chaos/overload run replays exactly.
+    """
+
+    offsets_s: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        offsets = tuple(float(offset) for offset in self.offsets_s)
+        if any(offset < 0.0 for offset in offsets):
+            raise ServingError("arrival offsets must be non-negative")
+        if any(b < a for a, b in zip(offsets, offsets[1:])):
+            raise ServingError("arrival offsets must be non-decreasing")
+        object.__setattr__(self, "offsets_s", offsets)
+
+    def __len__(self) -> int:
+        return len(self.offsets_s)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.offsets_s)
+
+    @property
+    def duration_s(self) -> float:
+        """Span from the first to the last arrival (0 for <= 1 arrival)."""
+        return self.offsets_s[-1] - self.offsets_s[0] if self.offsets_s else 0.0
+
+    @property
+    def offered_rps(self) -> float:
+        """Offered load implied by the schedule (arrivals per second)."""
+        return len(self.offsets_s) / self.duration_s if self.duration_s else 0.0
+
+    @classmethod
+    def uniform(cls, rate_rps: float, count: int) -> "ArrivalSchedule":
+        """Deterministic constant-rate arrivals: one every ``1/rate_rps`` s."""
+        if rate_rps <= 0.0 or count < 1:
+            raise ServingError("uniform schedule needs rate_rps > 0 and count >= 1")
+        return cls(tuple(index / rate_rps for index in range(count)))
+
+    @classmethod
+    def poisson(cls, rate_rps: float, count: int, seed: int = 0) -> "ArrivalSchedule":
+        """Memoryless arrivals at mean ``rate_rps`` (exponential gaps)."""
+        if rate_rps <= 0.0 or count < 1:
+            raise ServingError("poisson schedule needs rate_rps > 0 and count >= 1")
+        gaps = np.random.default_rng(seed).exponential(1.0 / rate_rps, size=count)
+        gaps[0] = 0.0
+        return cls(tuple(np.cumsum(gaps)))
+
+    @classmethod
+    def burst(
+        cls, num_bursts: int, burst_size: int, gap_s: float
+    ) -> "ArrivalSchedule":
+        """Bursty arrivals: ``burst_size`` simultaneous requests every ``gap_s``."""
+        if num_bursts < 1 or burst_size < 1 or gap_s < 0.0:
+            raise ServingError(
+                "burst schedule needs num_bursts >= 1, burst_size >= 1, gap_s >= 0"
+            )
+        return cls(
+            tuple(
+                burst * gap_s
+                for burst in range(num_bursts)
+                for _ in range(burst_size)
+            )
+        )
 
 
 @dataclass(frozen=True)

@@ -44,14 +44,22 @@ class SubmitOptions:
         ``t + 1``'s input.  Requires a streamable graph (last stage output
         width equals first stage input width).  ``1`` (default) is a single
         forward pass.
+    priority:
+        QoS class of every stage of the pipeline: 0 (default) is the most
+        urgent lane, larger values are bulk traffic that interactive work
+        overtakes and that the admission controller browns out first under
+        load.
     """
 
     deadline_s: Optional[float] = None
     stream: int = 1
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.stream < 1:
             raise ServingError(f"stream must be >= 1 decode steps, got {self.stream}")
+        if self.priority < 0:
+            raise ServingError(f"priority must be >= 0, got {self.priority}")
 
 
 class ModelRequest:
@@ -65,6 +73,7 @@ class ModelRequest:
         num_steps: int,
         submitted_at: float,
         deadline_at: Optional[float] = None,
+        priority: int = 0,
     ) -> None:
         self.request_id = request_id
         self.model = model
@@ -72,6 +81,8 @@ class ModelRequest:
         self.num_steps = num_steps
         self.submitted_at = submitted_at
         self.deadline_at = deadline_at
+        #: QoS class inherited by every stage request of the pipeline.
+        self.priority = priority
         self.finished_at: Optional[float] = None
         self.state = PENDING
         #: Aggregated over stage requests: any-stage degraded / summed retries.

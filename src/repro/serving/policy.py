@@ -1,24 +1,36 @@
-"""Deadline arithmetic and the retry policy applied around batch execution.
+"""Deadline arithmetic, retry policy, admission control and circuit breaking.
 
-Two small, purely-functional pieces of the fault-tolerance layer live here so
-they can be unit-tested (and reasoned about) without a running server:
+The purely-functional / small-state pieces of the fault-tolerance and
+overload-resilience layers live here so they can be unit-tested (and reasoned
+about) without a running server:
 
 * :func:`deadline_at` / :func:`remaining_s` — per-request deadlines are stored
   as absolute ``time.perf_counter()`` instants, computed once at submission;
 * :class:`RetryPolicy` — capped exponential backoff with jitter, applied by
   the server around micro-batch execution, retrying only
   :class:`~repro.errors.TransientServingError` failures (anything else would
-  deterministically fail again, so it goes straight to the degraded fallback).
+  deterministically fail again, so it goes straight to the degraded fallback);
+* :class:`AdmissionController` — EWMA queue-wait and per-layer compute
+  estimates driving adaptive load shedding: deadline-doomed requests are shed
+  at admission and at batch-claim time, and low-priority lanes brown out
+  progressively as the queue fills, each shed carrying a retry-after hint in
+  its :class:`~repro.errors.ShedError`;
+* :class:`CircuitBreaker` — a closed/open/half-open breaker around the
+  degraded scalar-oracle fallback, so sustained fast-path failure trips to
+  fast shedding instead of the ~35x slower oracle compounding the overload.
 """
 
 from __future__ import annotations
 
 import random
+import threading
+import time
+from collections import deque
 from dataclasses import dataclass
 from math import isfinite
-from typing import Optional
+from typing import Callable, Deque, Dict, Optional, Tuple
 
-from ..errors import ServingError, TransientServingError
+from ..errors import ServingError, ShedError, TransientServingError
 
 
 def deadline_at(submitted_at: float, deadline_s: Optional[float]) -> Optional[float]:
@@ -64,6 +76,11 @@ class RetryPolicy:
     jitter:
         Fractional jitter ``j``: each sleep is scaled by a uniform factor in
         ``[1-j, 1+j]`` so synchronized workers do not retry in lockstep.
+    seed:
+        Seed of the policy's private jitter stream.  Each policy instance
+        draws from its own ``random.Random(seed)``, so a chaos run seeded
+        end-to-end (:class:`~repro.serving.faults.FaultInjector` seed plus
+        this one) reproduces its exact backoff schedule.
     """
 
     max_attempts: int = 3
@@ -71,6 +88,7 @@ class RetryPolicy:
     backoff_multiplier: float = 2.0
     backoff_max_s: float = 0.05
     jitter: float = 0.25
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -85,6 +103,9 @@ class RetryPolicy:
             )
         if not 0.0 <= self.jitter <= 1.0:
             raise ServingError(f"jitter must be in [0, 1], got {self.jitter}")
+        # Not a dataclass field: the jitter stream is per-instance mutable
+        # state, excluded from equality/hashing/repr on purpose.
+        object.__setattr__(self, "_rng", random.Random(self.seed))
 
     @staticmethod
     def is_transient(error: BaseException) -> bool:
@@ -96,17 +117,326 @@ class RetryPolicy:
         return attempt < self.max_attempts and self.is_transient(error)
 
     def backoff_s(self, attempt: int, rng: Optional[random.Random] = None) -> float:
-        """Sleep before retry number ``attempt`` (1-based, jittered)."""
+        """Sleep before retry number ``attempt`` (1-based, jittered).
+
+        The jitter factor is drawn from ``rng`` when given, otherwise from
+        the policy's own seeded stream.
+        """
         if attempt < 1:
             raise ServingError(f"attempt must be >= 1, got {attempt}")
         delay = min(
             self.backoff_base_s * self.backoff_multiplier ** (attempt - 1),
             self.backoff_max_s,
         )
-        if self.jitter and rng is not None:
-            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        if self.jitter:
+            draw = rng if rng is not None else self._rng
+            delay *= 1.0 + self.jitter * (2.0 * draw.random() - 1.0)
         return max(delay, 0.0)
 
 
 #: Policy the server applies when the caller does not pass one.
 DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+class AdmissionController:
+    """Adaptive load shedding from EWMA queue-wait and compute estimates.
+
+    The controller watches what the server actually measures — per-layer
+    engine-pass seconds per request (:meth:`observe_batch`) and queue wait
+    (:meth:`observe_wait`) — and turns the estimates into two shedding
+    decisions, both *conservative by construction*: a layer with fewer than
+    ``min_samples`` observations is never shed as doomed, so a cold server
+    behaves exactly like one without a controller.
+
+    * **doomed shedding** — a request whose remaining deadline budget is
+      smaller than the expected cost of serving it cannot succeed; admitting
+      (or claiming) it only wastes compute that deadline-meeting requests
+      needed.  At admission the expected cost is queue wait + compute; at
+      claim time the wait is already paid, so only compute counts.
+    * **priority brownout** — as the queue fills past per-class watermarks,
+      lower-priority lanes are shed first: class ``p >= 1`` sheds when the
+      queue is ``max(brownout_floor, 1 - brownout_step * p)`` full, while
+      class 0 is only ever limited by the hard admission bound.  Load
+      degrades the bulk lanes progressively instead of cliffing everyone
+      into :class:`~repro.errors.BackpressureError` at once.
+
+    Parameters
+    ----------
+    alpha:
+        EWMA smoothing factor in ``(0, 1]``; higher tracks faster.
+    min_samples:
+        Per-layer observations required before doomed shedding engages.
+    headroom:
+        Safety factor on the compute estimate (``> 1`` sheds earlier).
+    brownout_step / brownout_floor:
+        Per-priority-class watermark schedule described above.
+    """
+
+    def __init__(
+        self,
+        *,
+        alpha: float = 0.2,
+        min_samples: int = 3,
+        headroom: float = 1.0,
+        brownout_step: float = 0.25,
+        brownout_floor: float = 0.25,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ServingError(f"alpha must be in (0, 1], got {alpha}")
+        if min_samples < 1:
+            raise ServingError(f"min_samples must be >= 1, got {min_samples}")
+        if headroom <= 0.0:
+            raise ServingError(f"headroom must be positive, got {headroom}")
+        if not 0.0 <= brownout_step <= 1.0:
+            raise ServingError(f"brownout_step must be in [0, 1], got {brownout_step}")
+        if not 0.0 < brownout_floor <= 1.0:
+            raise ServingError(
+                f"brownout_floor must be in (0, 1], got {brownout_floor}"
+            )
+        self.alpha = alpha
+        self.min_samples = min_samples
+        self.headroom = headroom
+        self.brownout_step = brownout_step
+        self.brownout_floor = brownout_floor
+        self._lock = threading.Lock()
+        self._compute_ewma_s: Dict[str, float] = {}
+        self._samples: Dict[str, int] = {}
+        self._wait_ewma_s = 0.0
+        self._wait_samples = 0
+
+    # ---------------------------------------------------------- observation
+    def observe_batch(self, layer: str, batch_size: int, compute_s: float) -> None:
+        """Feed one executed batch's per-request compute cost into the EWMA."""
+        if batch_size < 1 or compute_s < 0.0:
+            return
+        per_request = compute_s / batch_size
+        with self._lock:
+            previous = self._compute_ewma_s.get(layer)
+            self._compute_ewma_s[layer] = (
+                per_request
+                if previous is None
+                else previous + self.alpha * (per_request - previous)
+            )
+            self._samples[layer] = self._samples.get(layer, 0) + 1
+
+    def observe_wait(self, wait_s: float) -> None:
+        """Feed one dispatched request's queue wait into the EWMA."""
+        if wait_s < 0.0:
+            wait_s = 0.0
+        with self._lock:
+            self._wait_ewma_s += self.alpha * (wait_s - self._wait_ewma_s)
+            self._wait_samples += 1
+
+    def estimate_s(self, layer: str) -> Optional[float]:
+        """Per-request compute estimate, or ``None`` below ``min_samples``."""
+        with self._lock:
+            if self._samples.get(layer, 0) < self.min_samples:
+                return None
+            return self._compute_ewma_s[layer]
+
+    @property
+    def wait_ewma_s(self) -> float:
+        """Current EWMA of queue wait (0 before any observation)."""
+        with self._lock:
+            return self._wait_ewma_s
+
+    # ------------------------------------------------------------ decisions
+    def brownout_watermark(self, priority: int) -> float:
+        """Queue-fullness fraction beyond which class ``priority`` sheds."""
+        if priority <= 0:
+            return 1.0
+        return max(self.brownout_floor, 1.0 - self.brownout_step * priority)
+
+    def admission_check(
+        self,
+        layer: str,
+        deadline_at_: Optional[float],
+        priority: int,
+        now: float,
+        depth: int,
+        capacity: int,
+    ) -> Optional[ShedError]:
+        """Shed decision at submission; ``None`` admits the request."""
+        if priority > 0 and depth >= capacity * self.brownout_watermark(priority):
+            hint = max(self.wait_ewma_s, 1e-3)
+            return ShedError(
+                f"priority-{priority} request shed at admission: queue "
+                f"{depth}/{capacity} is past the class watermark "
+                f"({self.brownout_watermark(priority):.0%}); retry in "
+                f"~{hint * 1e3:.0f} ms or resubmit at a higher priority",
+                retry_after_s=hint,
+            )
+        if deadline_at_ is not None:
+            estimate = self.estimate_s(layer)
+            if estimate is not None:
+                budget = deadline_at_ - now
+                expected = self.wait_ewma_s + estimate * self.headroom
+                if expected > budget:
+                    return ShedError(
+                        f"request for layer '{layer}' shed at admission: "
+                        f"expected queue wait + compute "
+                        f"(~{expected * 1e3:.2f} ms) exceeds its "
+                        f"{budget * 1e3:.2f} ms deadline budget; retry with "
+                        f"a larger deadline or when the backlog drains",
+                        retry_after_s=max(self.wait_ewma_s, estimate),
+                    )
+        return None
+
+    def claim_check(self, request, now: float) -> Optional[ShedError]:
+        """Shed decision at batch-claim time (wait already paid)."""
+        estimate = self.estimate_s(request.layer)
+        if estimate is None:
+            return None
+        remaining = remaining_s(request.deadline_at, now)
+        if estimate * self.headroom > remaining:
+            return ShedError(
+                f"request {request.request_id} ('{request.layer}') shed at "
+                f"claim time: ~{estimate * 1e3:.2f} ms of compute cannot fit "
+                f"the {remaining * 1e3:.2f} ms of deadline budget left; "
+                f"retry with a larger deadline",
+                retry_after_s=max(estimate, 0.0),
+            )
+        return None
+
+
+#: Circuit-breaker states.
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Closed/open/half-open breaker around the degraded-oracle fallback.
+
+    The scalar oracle is exact but ~35x slower than the compiled fast path;
+    under sustained overload, routing every failing batch through it is a
+    textbook retry/fallback death spiral.  The breaker watches fast-path
+    outcomes: a batch that exhausts its retries records a **failure**, a
+    batch that completes on the fast path records a **success**.
+
+    * ``closed`` — fallback allowed.  Trips ``open`` when either
+      ``failure_threshold`` *consecutive* failures accumulate, or the
+      failure rate over the sliding ``window_s`` window reaches
+      ``failure_rate`` with at least ``min_samples`` outcomes (the
+      load-rate criterion).
+    * ``open`` — the fallback is skipped entirely: failing batches are shed
+      fast with :class:`~repro.errors.ShedError` carrying the remaining
+      cooldown as the retry-after hint.
+    * ``half_open`` — after ``cooldown_s``, exactly one failing batch is let
+      through to the oracle as a probe; another failure re-opens, while any
+      fast-path success closes the breaker immediately (from any state —
+      the condition being guarded is fast-path health).
+
+    ``clock`` is injectable for deterministic state-machine tests.
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        failure_rate: float = 0.5,
+        min_samples: int = 20,
+        window_s: float = 1.0,
+        cooldown_s: float = 0.05,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ServingError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if not 0.0 < failure_rate <= 1.0:
+            raise ServingError(f"failure_rate must be in (0, 1], got {failure_rate}")
+        if min_samples < 1:
+            raise ServingError(f"min_samples must be >= 1, got {min_samples}")
+        if window_s <= 0.0 or cooldown_s < 0.0:
+            raise ServingError("window_s must be positive and cooldown_s >= 0")
+        self.failure_threshold = failure_threshold
+        self.failure_rate = failure_rate
+        self.min_samples = min_samples
+        self.window_s = window_s
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BREAKER_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._events: Deque[Tuple[float, bool]] = deque()
+        self.trips = 0
+
+    # ------------------------------------------------------------- internals
+    def _prune(self, now: float) -> None:
+        while self._events and now - self._events[0][0] > self.window_s:
+            self._events.popleft()
+
+    def _window_rate(self) -> Tuple[int, float]:
+        total = len(self._events)
+        if not total:
+            return 0, 0.0
+        failures = sum(1 for _, failed in self._events if failed)
+        return total, failures / total
+
+    # ------------------------------------------------------------ transitions
+    def record_success(self) -> None:
+        """A fast-path batch completed: the guarded condition is healthy."""
+        now = self._clock()
+        with self._lock:
+            self._consecutive_failures = 0
+            self._events.append((now, False))
+            self._prune(now)
+            if self._state != BREAKER_CLOSED:
+                self._state = BREAKER_CLOSED
+
+    def record_failure(self) -> None:
+        """A batch exhausted its retries (fallback demand)."""
+        now = self._clock()
+        with self._lock:
+            self._consecutive_failures += 1
+            self._events.append((now, True))
+            self._prune(now)
+            if self._state == BREAKER_HALF_OPEN:
+                # The probe failed: back to fast shedding for a new cooldown.
+                self._state = BREAKER_OPEN
+                self._opened_at = now
+                self.trips += 1
+                return
+            if self._state != BREAKER_CLOSED:
+                return
+            total, rate = self._window_rate()
+            if self._consecutive_failures >= self.failure_threshold or (
+                total >= self.min_samples and rate >= self.failure_rate
+            ):
+                self._state = BREAKER_OPEN
+                self._opened_at = now
+                self.trips += 1
+
+    def allow(self) -> bool:
+        """Whether a failing batch may take the degraded fallback right now.
+
+        In ``open`` state this also drives the timed transition to
+        ``half_open``: the first call after the cooldown is the probe.
+        """
+        now = self._clock()
+        with self._lock:
+            if self._state == BREAKER_CLOSED:
+                return True
+            if self._state == BREAKER_OPEN:
+                if now - self._opened_at >= self.cooldown_s:
+                    self._state = BREAKER_HALF_OPEN
+                    return True
+                return False
+            # Half-open: one probe is already in flight; shed the rest.
+            return False
+
+    # ------------------------------------------------------------ monitoring
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def retry_after_s(self) -> float:
+        """Remaining cooldown (the shed hint); 0 unless the breaker is open."""
+        now = self._clock()
+        with self._lock:
+            if self._state != BREAKER_OPEN:
+                return 0.0
+            return max(self.cooldown_s - (now - self._opened_at), 0.0)

@@ -92,6 +92,9 @@ class _Shard:
     compute_s: float = 0.0
     dispatch_s: float = 0.0
     shm_fallbacks: int = 0
+    #: Plan replicas hot-swapped into the live child (restart reloads do not
+    #: count; they unpickle whatever blob is current).
+    swaps: int = 0
     #: Engine-pass seconds per layer served by this shard (feeds the
     #: per-pipeline-stage occupancy breakdown in process mode).
     layer_compute_s: Dict[str, float] = field(default_factory=dict)
@@ -209,11 +212,17 @@ class ProcessWorkerPool:
             if restarted:
                 shard.restarts += 1
 
-    def close(self) -> None:
-        """Stop every shard (sentinel first, terminate stragglers), free shm."""
+    def close(self, join_timeout_s: Optional[float] = None) -> None:
+        """Stop every shard (sentinel first, terminate stragglers), free shm.
+
+        ``join_timeout_s`` overrides the per-shard join grace (default
+        ``_JOIN_TIMEOUT_S``); a force-aborting server passes a short one so
+        wedged shards are terminated promptly instead of waited out.
+        """
         if self._closed:
             return
         self._closed = True
+        grace = join_timeout_s if join_timeout_s is not None else _JOIN_TIMEOUT_S
         for shard in self._shards:
             with shard.lock:
                 if shard.work_queue is not None and shard.alive:
@@ -224,10 +233,10 @@ class ProcessWorkerPool:
         for shard in self._shards:
             with shard.lock:
                 if shard.process is not None:
-                    shard.process.join(timeout=_JOIN_TIMEOUT_S)
+                    shard.process.join(timeout=grace)
                     if shard.process.is_alive():
                         shard.process.terminate()
-                        shard.process.join(timeout=_JOIN_TIMEOUT_S)
+                        shard.process.join(timeout=grace)
                 self._teardown_transport(shard)
 
     def __enter__(self) -> "ProcessWorkerPool":
@@ -252,6 +261,39 @@ class ProcessWorkerPool:
                 except (OSError, ValueError):  # pragma: no cover - defensive
                     pass
                 setattr(shard, attr, None)
+
+    def swap_plan(self, plan: ModelPlan) -> None:
+        """Install a new plan replica in every live shard (rings kept).
+
+        Each shard gets a ``swap`` message carrying the re-pickled plan; the
+        child unpickles and prewarms the replica before acknowledging, so the
+        first post-swap batch pays no compile latency.  The blob is updated
+        *first*, so a shard that is dead (or dies mid-swap) simply loads the
+        new plan when its supervised restart respawns it.  The caller
+        (``Server.swap_plan``) guarantees no batch is in flight, so the swap
+        message never races an execution reply.
+        """
+        if self._closed:
+            raise ServingError("process pool has been closed")
+        blob = pickle.dumps(plan, protocol=pickle.HIGHEST_PROTOCOL)
+        self.plan = plan
+        self._plan_blob = blob
+        for shard in self._shards:
+            with shard.lock:
+                if not shard.alive:
+                    continue  # its restart unpickles the new blob anyway
+                shard._seq += 1
+                seq = shard._seq
+                work_queue, result_queue = shard.work_queue, shard.result_queue
+            work_queue.put(("swap", seq, None, blob))
+            try:
+                kind, payload = self._await_result(shard, result_queue, seq)
+            except WorkerCrashError:
+                continue  # died mid-swap: restart loads the new blob
+            if kind == "err":
+                raise payload
+            with shard.lock:
+                shard.swaps += 1
 
     def _shard(self, index: int) -> _Shard:
         if not 0 <= index < self.num_shards:
@@ -371,6 +413,7 @@ class ProcessWorkerPool:
                         "dispatch_s": shard.dispatch_s,
                         "restarts": shard.restarts,
                         "shm_fallbacks": shard.shm_fallbacks,
+                        "plan_swaps": shard.swaps,
                         "layer_compute_s": dict(shard.layer_compute_s),
                     }
                 )
@@ -420,6 +463,21 @@ def _shard_main(
             if item is None:
                 return
             kind, seq, layer, payload = item
+            if kind == "swap":
+                # Hot plan swap: replace the replica and prewarm it before
+                # acknowledging.  Fault hooks deliberately do not fire — a
+                # swap is control-plane traffic, not a served batch.
+                try:
+                    plan = pickle.loads(payload)
+                    for layer_name in plan.layer_names():
+                        shape = plan.layer(layer_name).shape
+                        plan.run(
+                            layer_name, np.zeros((shape.k, 1), dtype=np.int64)
+                        )
+                    result_queue.put(("ok", seq, [], None, 0.0))
+                except Exception as error:  # noqa: BLE001 - shipped to parent
+                    result_queue.put(("err", seq, error))
+                continue
             try:
                 if faults is not None:
                     try:

@@ -1,33 +1,52 @@
-"""Bounded FIFO request queue with per-layer coalescing pops.
+"""Bounded request queue with QoS priority lanes and EDF batch formation.
 
 Admission control is the queue's job: :meth:`RequestQueue.put` never blocks —
 when the queue is full it raises :class:`~repro.errors.BackpressureError` so
 the client sheds load instead of piling unbounded latency onto every request
-behind it.  Workers drain the queue through :meth:`RequestQueue.next_batch`,
-which pops the head request plus up to ``max_batch - 1`` later requests bound
-for the *same layer* (FIFO order among the rest is preserved), handing the
-micro-batcher a coalescible batch.
+behind it.
+
+Queued work is organised into **priority lanes**: one lane per QoS class
+(``Request.priority``; 0 is the most urgent, larger values are bulk).
+Workers drain the queue through :meth:`RequestQueue.next_batch`, which always
+serves the highest-priority non-empty lane first, so interactive traffic
+overtakes bulk traffic instead of FIFO-starving behind it.  *Within* a lane
+requests are ordered earliest-deadline-first (EDF); requests without a
+deadline keep strict FIFO order among themselves (submission sequence breaks
+deadline ties, so a lane with no deadlines degenerates to the classic FIFO
+queue).  After popping the head, :meth:`next_batch` coalesces up to
+``max_batch - 1`` more requests bound for the *same layer* — first from the
+head's own lane, then riding lower-priority lanes along — preserving each
+lane's relative order for everything it skips.
 
 Deadline enforcement happens at dispatch: while scanning for a batch,
 :meth:`next_batch` *sheds* every already-expired request it encounters —
 failing it with :class:`~repro.errors.DeadlineExceededError` so the waiting
 client unblocks immediately — and silently drops requests the client already
-cancelled.  Shed requests are parked on an internal list the server collects
-through :meth:`take_shed` for accounting; none of them ever reaches the
-engine.  :meth:`close` wakes every blocked :meth:`next_batch` waiter under
-the condition variable, so worker shutdown is notification-driven rather
-than poll-driven.
+cancelled.  When an :class:`~repro.serving.policy.AdmissionController` is
+attached, the same scan also sheds requests that are *doomed* — still live
+but with less deadline budget left than the controller's compute estimate
+for their layer — with :class:`~repro.errors.ShedError`, so the engine never
+burns compute on work that cannot meet its deadline.  Shed requests are
+parked on an internal list the server collects through :meth:`take_shed` for
+accounting; none of them ever reaches the engine.  :meth:`close` wakes every
+blocked :meth:`next_batch` waiter under the condition variable, so worker
+shutdown is notification-driven rather than poll-driven.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from collections import deque
-from typing import Deque, Iterable, List, Optional
+from bisect import insort
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..errors import BackpressureError, ServingError
 from .request import Request
+
+#: Lane entry: (deadline key, admission sequence, request).  ``inf`` stands
+#: for "no deadline", so EDF ordering degrades to FIFO (by sequence) when no
+#: request in the lane carries one.
+_Entry = Tuple[float, int, Request]
 
 
 class RequestQueue:
@@ -37,13 +56,34 @@ class RequestQueue:
         if max_pending < 1:
             raise ServingError(f"max_pending must be positive, got {max_pending}")
         self.max_pending = max_pending
-        self._pending: Deque[Request] = deque()
+        self._lanes: Dict[int, List[_Entry]] = {}
+        self._size = 0
+        self._seq = 0
         self._condition = threading.Condition()
         self._closed = False
         self._shed: List[Request] = []
+        #: Optional :class:`~repro.serving.policy.AdmissionController`; when
+        #: set, the dispatch scan sheds deadline-doomed requests through it.
+        self.controller = None
         self.rejected = 0
         self.expired = 0
         self.cancelled = 0
+        #: Requests shed as deadline-doomed at batch-claim time.
+        self.shed_doomed = 0
+
+    # ------------------------------------------------------------- internals
+    def _insert(self, request: Request) -> None:
+        """Place a request into its lane at its EDF position (lock held)."""
+        if request.queue_seq is None:
+            self._seq += 1
+            request.queue_seq = self._seq
+        key = request.deadline_at if request.deadline_at is not None else float("inf")
+        lane = self._lanes.setdefault(request.priority, [])
+        insort(lane, (key, request.queue_seq, request))
+        self._size += 1
+
+    def _lane_priorities(self) -> List[int]:
+        return sorted(p for p, lane in self._lanes.items() if lane)
 
     # -------------------------------------------------------------- client
     def put(self, request: Request) -> None:
@@ -51,13 +91,13 @@ class RequestQueue:
         with self._condition:
             if self._closed:
                 raise ServingError("request queue is closed")
-            if len(self._pending) >= self.max_pending:
+            if self._size >= self.max_pending:
                 self.rejected += 1
                 raise BackpressureError(
                     f"request queue is full ({self.max_pending} pending); "
                     f"retry after the backlog drains"
                 )
-            self._pending.append(request)
+            self._insert(request)
             self._condition.notify()
 
     def put_many(self, requests: List[Request]) -> None:
@@ -75,14 +115,15 @@ class RequestQueue:
                 raise ServingError("request queue is closed")
             if not requests:
                 return
-            if len(self._pending) + len(requests) > self.max_pending:
+            if self._size + len(requests) > self.max_pending:
                 self.rejected += len(requests)
                 raise BackpressureError(
                     f"request queue cannot admit a batch of {len(requests)} "
-                    f"({len(self._pending)}/{self.max_pending} pending); "
+                    f"({self._size}/{self.max_pending} pending); "
                     f"retry after the backlog drains"
                 )
-            self._pending.extend(requests)
+            for request in requests:
+                self._insert(request)
             self._condition.notify(len(requests))
 
     def put_continuation(self, request: Request) -> None:
@@ -92,22 +133,25 @@ class RequestQueue:
         occupies one pipeline stage at a time, so its continuations must
         never bounce off the admission bound (that would deadlock a full
         pipeline against itself) nor off a closing queue mid-drain.  They
-        keep FIFO order at the tail like any other work.
+        enter their lane at the normal EDF position (a pipeline with a
+        deadline keeps overtaking deadline-less work at every stage).
         """
         with self._condition:
-            self._pending.append(request)
+            self._insert(request)
             self._condition.notify()
 
     def requeue(self, requests: Iterable[Request]) -> None:
-        """Return admitted-but-unexecuted requests to the head of the queue.
+        """Return admitted-but-unexecuted requests to their queue positions.
 
-        Crash recovery: a dead worker's in-flight batch goes back in front so
-        survivors re-serve it in its original order.  The requests were
-        already admitted once, so this bypasses the admission bound and works
-        even on a closed (draining) queue.
+        Crash recovery: a dead worker's in-flight batch goes back in at its
+        original EDF/FIFO position (each request keeps its first admission
+        sequence) so survivors re-serve it in its original order.  The
+        requests were already admitted once, so this bypasses the admission
+        bound and works even on a closed (draining) queue.
         """
         with self._condition:
-            self._pending.extendleft(reversed(list(requests)))
+            for request in requests:
+                self._insert(request)
             self._condition.notify_all()
 
     # -------------------------------------------------------------- worker
@@ -117,10 +161,14 @@ class RequestQueue:
         """Pop the next same-layer micro-batch, waiting up to ``timeout``.
 
         Returns ``None`` when the wait times out or the queue is closed and
-        drained.  The batch is the head request plus up to ``max_batch - 1``
-        younger requests for the same layer; requests for other layers keep
-        their relative order.  Expired and cancelled requests encountered
-        during the scan are shed (see module docstring) and never returned.
+        drained.  The head is the first live request of the highest-priority
+        non-empty lane; the batch is the head plus up to ``max_batch - 1``
+        same-layer requests coalesced first from the head's lane and then
+        from lower-priority lanes (bulk work rides along with interactive
+        batches, never the other way around).  Skipped requests keep their
+        relative order.  Expired, cancelled and deadline-doomed requests
+        encountered during the scan are shed (see module docstring) and
+        never returned.
         """
         if max_batch < 1:
             raise ServingError(f"max_batch must be positive, got {max_batch}")
@@ -134,32 +182,63 @@ class RequestQueue:
                 if not self._condition.wait(timeout):
                     return None
             batch = [head]
-            if max_batch > 1 and self._pending:
+            if max_batch > 1 and self._size:
                 now = time.perf_counter()
-                rest: Deque[Request] = deque()
-                while self._pending and len(batch) < max_batch:
-                    candidate = self._pending.popleft()
-                    if self._shed_if_dead(candidate, now):
+                for priority in self._lane_priorities():
+                    if priority < head.priority or len(batch) >= max_batch:
                         continue
-                    if candidate.layer == head.layer:
-                        batch.append(candidate)
-                    else:
-                        rest.append(candidate)
-                rest.extend(self._pending)
-                self._pending = rest
+                    self._coalesce_from_lane(
+                        priority, head.layer, batch, max_batch, now
+                    )
             return batch
 
+    def _coalesce_from_lane(
+        self,
+        priority: int,
+        layer: str,
+        batch: List[Request],
+        max_batch: int,
+        now: float,
+    ) -> None:
+        """Move same-layer live requests from one lane into ``batch``.
+
+        Scans the lane in EDF order until the batch fills; everything the
+        scan skips keeps its position, and dead requests it encounters are
+        shed exactly as :meth:`_pop_live_head` would.  Lock held.
+        """
+        lane = self._lanes.get(priority)
+        if not lane:
+            return
+        keep: List[_Entry] = []
+        for index, entry in enumerate(lane):
+            if len(batch) >= max_batch:
+                keep.extend(lane[index:])
+                break
+            request = entry[2]
+            if self._shed_if_dead(request, now):
+                self._size -= 1
+                continue
+            if request.layer == layer:
+                batch.append(request)
+                self._size -= 1
+            else:
+                keep.append(entry)
+        self._lanes[priority] = keep
+
     def _pop_live_head(self) -> Optional[Request]:
-        """Pop the first non-shed request, shedding dead ones on the way."""
+        """Pop the first live request in priority order, shedding dead ones."""
         now = time.perf_counter()
-        while self._pending:
-            head = self._pending.popleft()
-            if not self._shed_if_dead(head, now):
-                return head
+        for priority in self._lane_priorities():
+            lane = self._lanes[priority]
+            while lane:
+                entry = lane.pop(0)
+                self._size -= 1
+                if not self._shed_if_dead(entry[2], now):
+                    return entry[2]
         return None
 
     def _shed_if_dead(self, request: Request, now: float) -> bool:
-        """Shed a cancelled/expired request; holds the condition lock."""
+        """Shed a cancelled/expired/doomed request; holds the condition lock."""
         if request.done():
             # Cancelled (or otherwise finished) while queued: the client was
             # already woken, so only account for it and drop it.
@@ -170,6 +249,12 @@ class RequestQueue:
             self.expired += 1
             self._shed.append(request)
             return True
+        if self.controller is not None and request.deadline_at is not None:
+            error = self.controller.claim_check(request, now)
+            if error is not None and request.shed(error, now):
+                self.shed_doomed += 1
+                self._shed.append(request)
+                return True
         return False
 
     def take_shed(self) -> List[Request]:
@@ -182,9 +267,17 @@ class RequestQueue:
     def drain_pending(self) -> List[Request]:
         """Remove and return every queued request (abortive shutdown)."""
         with self._condition:
-            drained = list(self._pending)
-            self._pending.clear()
+            drained: List[Request] = []
+            for priority in sorted(self._lanes):
+                drained.extend(entry[2] for entry in self._lanes[priority])
+                self._lanes[priority] = []
+            self._size = 0
             return drained
+
+    def depths(self) -> Dict[int, int]:
+        """Queued request count per priority lane (monitoring)."""
+        with self._condition:
+            return {p: len(lane) for p, lane in self._lanes.items() if lane}
 
     # ------------------------------------------------------------ lifecycle
     def close(self) -> None:
@@ -201,4 +294,4 @@ class RequestQueue:
 
     def __len__(self) -> int:
         with self._condition:
-            return len(self._pending)
+            return self._size

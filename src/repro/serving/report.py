@@ -50,6 +50,9 @@ class ShardStats:
     #: Batches that fell back to pickle transport (batch exceeded a ring
     #: slot); always 0 in thread mode.
     shm_fallbacks: int = 0
+    #: Zero-downtime plan swaps this shard absorbed (always 0 in thread mode,
+    #: where the swap replaces the shared plan instead of per-shard replicas).
+    plan_swaps: int = 0
 
     @property
     def utilization(self) -> float:
@@ -67,6 +70,7 @@ class ShardStats:
             "utilization": self.utilization,
             "restarts": self.restarts,
             "shm_fallbacks": self.shm_fallbacks,
+            "plan_swaps": self.plan_swaps,
         }
 
 
@@ -172,6 +176,28 @@ class ServingReport:
     model_latency_p99_s: float = 0.0
     #: Pipeline stages a model-level request passes through (0 = no graph).
     pipeline_depth: int = 0
+    #: Requests terminated by the overload-control layer without compute:
+    #: claim-time doomed sheds plus circuit-breaker sheds.
+    num_shed: int = 0
+    #: Requests shed synchronously at submission (the client got a
+    #: :class:`~repro.errors.ShedError` before the queue ever saw them —
+    #: accounted like ``num_rejected``, outside ``num_requests``).
+    num_admission_shed: int = 0
+    #: Degraded-path circuit breaker: times it tripped open, and its state
+    #: when the report was built ("disabled" when no breaker is configured).
+    breaker_trips: int = 0
+    breaker_state: str = "disabled"
+    #: Zero-downtime plan swaps performed during the run.
+    num_plan_swaps: int = 0
+    #: Requests force-aborted by ``close(timeout_s=...)`` past its deadline.
+    num_force_aborted: int = 0
+    #: Completed requests that met their deadline (no deadline = met).
+    num_deadline_met: int = 0
+    #: Deadline-met completions per second — the overload headline: unlike
+    #: ``throughput_rps`` it does not credit work that finished too late.
+    goodput_rps: float = 0.0
+    #: Goodput broken down by QoS priority class.
+    goodput_by_priority: Dict[int, float] = field(default_factory=dict)
 
     @property
     def compute_fraction(self) -> float:
@@ -237,6 +263,18 @@ class ServingReport:
             summary["attributed_energy_nj"] = self.attributed_energy.total_nj
         if self.compile_stats is not None:
             summary["compile_stats"] = self.compile_stats.as_dict()
+        summary["num_shed"] = self.num_shed
+        summary["num_admission_shed"] = self.num_admission_shed
+        summary["breaker_trips"] = self.breaker_trips
+        summary["breaker_state"] = self.breaker_state
+        summary["num_plan_swaps"] = self.num_plan_swaps
+        summary["num_force_aborted"] = self.num_force_aborted
+        summary["num_deadline_met"] = self.num_deadline_met
+        summary["goodput_rps"] = self.goodput_rps
+        summary["goodput_by_priority"] = {
+            str(priority): rps
+            for priority, rps in sorted(self.goodput_by_priority.items())
+        }
         summary["execution"] = self.execution
         summary["queue_wait_s_total"] = self.queue_wait_s_total
         summary["compute_s_total"] = self.compute_s_total
@@ -287,6 +325,14 @@ def build_report(
     model_latencies_s: Sequence[float] = (),
     num_model_failed: int = 0,
     pipeline_depth: int = 0,
+    num_shed: int = 0,
+    num_admission_shed: int = 0,
+    breaker_trips: int = 0,
+    breaker_state: str = "disabled",
+    num_plan_swaps: int = 0,
+    num_force_aborted: int = 0,
+    num_deadline_met: int = 0,
+    deadline_met_by_priority: Optional[Dict[int, int]] = None,
 ) -> ServingReport:
     """Assemble a :class:`ServingReport` from raw serving-run samples.
 
@@ -295,6 +341,10 @@ def build_report(
     the latency and throughput figures are zero in that case.
     """
     wall = max(wall_s, 1e-12)
+    goodput_by_priority = {
+        priority: count / wall
+        for priority, count in sorted((deadline_met_by_priority or {}).items())
+    }
     return ServingReport(
         workload=workload,
         num_requests=len(latencies_s),
@@ -355,4 +405,13 @@ def build_report(
             percentile(list(model_latencies_s), 99.0) if model_latencies_s else 0.0
         ),
         pipeline_depth=pipeline_depth,
+        num_shed=num_shed,
+        num_admission_shed=num_admission_shed,
+        breaker_trips=breaker_trips,
+        breaker_state=breaker_state,
+        num_plan_swaps=num_plan_swaps,
+        num_force_aborted=num_force_aborted,
+        num_deadline_met=num_deadline_met,
+        goodput_rps=num_deadline_met / wall,
+        goodput_by_priority=goodput_by_priority,
     )

@@ -7,11 +7,13 @@ executes the micro-batch fulfils or fails the request and stamps the
 timestamps the latency accounting is built from.
 
 Requests are also where the fault-tolerance state machine lives.  Alongside
-the original ``pending → running → done|failed`` path there are two terminal
-states that end a request *without computing it*: ``expired`` (its deadline
-elapsed before dispatch — the queue sheds it, or the worker skips it at
-claim time) and ``cancelled`` (the client abandoned it via
-:meth:`Request.cancel`).  All transitions go through one per-request lock, so
+the original ``pending → running → done|failed`` path there are three
+terminal states that end a request *without computing it*: ``expired`` (its
+deadline elapsed before dispatch — the queue sheds it, or the worker skips it
+at claim time), ``cancelled`` (the client abandoned it via
+:meth:`Request.cancel`) and ``shed`` (the overload-control layer decided not
+to spend compute on it — see :meth:`Request.shed`).  All transitions go
+through one per-request lock, so
 a client cancelling races safely against a worker claiming: exactly one side
 wins, and work claimed by a worker is never also cancelled.
 """
@@ -34,6 +36,7 @@ DONE = "done"
 FAILED = "failed"
 EXPIRED = "expired"
 CANCELLED = "cancelled"
+SHED = "shed"
 
 
 class Request:
@@ -46,12 +49,21 @@ class Request:
         activation: np.ndarray,
         submitted_at: float,
         deadline_at: Optional[float] = None,
+        priority: int = 0,
     ) -> None:
+        if priority < 0:
+            raise ServingError(f"priority must be >= 0, got {priority}")
         self.request_id = request_id
         self.layer = layer
         self.activation = activation
         self.submitted_at = submitted_at
         self.deadline_at = deadline_at
+        #: QoS class: 0 is the most urgent lane, larger values are bulk.
+        self.priority = priority
+        #: Queue bookkeeping: monotonic sequence assigned at first admission,
+        #: reused on requeue so recovered work keeps its original EDF/FIFO
+        #: position within its lane.
+        self.queue_seq: Optional[int] = None
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         self.batch_size: int = 0
@@ -186,6 +198,25 @@ class Request:
         self.finished_at = now
         self._done.set()
 
+    def shed(self, error: BaseException, now: Optional[float] = None) -> bool:
+        """Terminate the request without computing it (overload shedding).
+
+        Used by the admission controller (a queued request judged doomed to
+        miss its deadline at claim time) and by the degraded-path circuit
+        breaker (a claimed batch whose slow fallback is tripped open).  The
+        waiting client re-raises ``error`` — conventionally a
+        :class:`~repro.errors.ShedError` carrying a retry-after hint.
+        """
+        with self._state_lock:
+            if self._done.is_set():
+                return False
+            self.state = SHED
+            self._error = error
+            self.finished_at = now if now is not None else time.perf_counter()
+            self._done.set()
+        self._fire_on_done()
+        return True
+
     def reset_for_retry(self) -> bool:
         """Return a claimed-but-unexecuted request to ``pending``.
 
@@ -212,16 +243,22 @@ class Request:
             self._done.set()
         self._fire_on_done()
 
-    def fail(self, error: BaseException, finished_at: float) -> None:
-        """Record a worker-side failure and wake the waiting client."""
+    def fail(self, error: BaseException, finished_at: float) -> bool:
+        """Record a worker-side failure and wake the waiting client.
+
+        Returns ``True`` if this call performed the terminal transition,
+        ``False`` if the request had already settled (so e.g. a force-abort
+        sweep can tell which requests it actually killed).
+        """
         with self._state_lock:
             if self._done.is_set():
-                return
+                return False
             self._error = error
             self.finished_at = finished_at
             self.state = FAILED
             self._done.set()
         self._fire_on_done()
+        return True
 
     def _fire_on_done(self) -> None:
         """Invoke the completion hook, once, outside the state lock.

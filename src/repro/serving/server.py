@@ -30,6 +30,27 @@ On top of that sits the fault-tolerance layer:
   :class:`~repro.serving.faults.FaultInjector` hooks worker dispatch and the
   engine pass, powering the chaos test suite.
 
+And on top of the fault-tolerance layer sits the **overload-resilience**
+layer:
+
+* **QoS priority lanes** — ``submit(..., priority=...)`` assigns each request
+  a priority class; the queue serves lower classes first (EDF within a
+  class), so interactive traffic overtakes bulk instead of FIFO-starving;
+* **adaptive load shedding** — an
+  :class:`~repro.serving.policy.AdmissionController` (default on) sheds
+  deadline-doomed work at admission and at batch-claim time and browns out
+  low-priority lanes as the queue fills, raising
+  :class:`~repro.errors.ShedError` with a retry-after hint;
+* **degraded-path circuit breaker** — a
+  :class:`~repro.serving.policy.CircuitBreaker` (default on) around the
+  scalar-oracle fallback: sustained fast-path failure trips it open and
+  failing batches are shed fast instead of compounding the overload through
+  the ~35x slower oracle;
+* **zero-downtime plan swap** — :meth:`Server.swap_plan` drains in-flight
+  batches to a plan-quiescent point and installs a shape-compatible new
+  plan (weight update) without dropping or reordering a single admitted
+  request.
+
 Two execution tiers share all of the above machinery.  The default
 ``execution="threads"`` runs the engine pass on the worker threads; the GIL
 serialises that compute, so ``execution="processes"`` instead pins each
@@ -66,7 +87,6 @@ Usage::
 
 from __future__ import annotations
 
-import random
 import threading
 import time
 import warnings
@@ -76,18 +96,25 @@ from typing import Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from ..energy.breakdown import EnergyBreakdown
-from ..errors import ServingError, WorkerCrashError
+from ..errors import ServingError, ShedError, WorkerCrashError
 from ..transarray.accelerator import RequestAttribution
 from .batcher import BatchExecution, MicroBatcher
 from .faults import FaultInjector
 from .graph import ModelGraph
 from .model_request import ModelRequest, SubmitOptions
 from .plan import ModelPlan
-from .policy import DEFAULT_RETRY_POLICY, RetryPolicy, deadline_at
+from .policy import (
+    DEFAULT_RETRY_POLICY,
+    AdmissionController,
+    CircuitBreaker,
+    RetryPolicy,
+    deadline_at,
+)
 from .process_pool import ProcessWorkerPool
 from .queue import RequestQueue
 from .report import ServingReport, ShardStats, StageStats, build_report
-from .request import CANCELLED, DONE, EXPIRED, FAILED, Request
+from .request import CANCELLED, DONE, EXPIRED, FAILED, SHED, Request
+from .shm import cleanup_orphan_segments
 
 #: Valid ``Server(execution=...)`` tiers.
 EXECUTION_MODES = ("threads", "processes")
@@ -115,6 +142,10 @@ class _RequestRecord:
     retries: int
     degraded: bool
     attribution: Optional[RequestAttribution]
+    priority: int = 0
+    #: Completed (state ``done``) inside its deadline budget (trivially true
+    #: for completions without a deadline) — the goodput numerator.
+    deadline_met: bool = False
 
 
 @dataclass(frozen=True)
@@ -124,6 +155,8 @@ class _ModelRecord:
     state: str
     latency_s: float
     steps: int
+    priority: int = 0
+    deadline_met: bool = False
 
 
 @dataclass
@@ -176,6 +209,14 @@ class ServerHealth:
     execution: str = "threads"
     #: Live worker *processes*; ``None`` in thread mode.
     alive_shards: Optional[int] = None
+    #: Requests shed post-admission (claim-time doomed + breaker-blocked).
+    num_shed: int = 0
+    #: Requests shed at admission time (brownout / doomed-at-submit).
+    num_admission_shed: int = 0
+    #: Degraded-path circuit-breaker state ("disabled" when not configured).
+    breaker_state: str = "disabled"
+    #: Zero-downtime plan swaps completed so far.
+    num_plan_swaps: int = 0
 
     @property
     def healthy(self) -> bool:
@@ -200,6 +241,10 @@ class ServerHealth:
             "num_worker_restarts": self.num_worker_restarts,
             "execution": self.execution,
             "alive_shards": self.alive_shards,
+            "num_shed": self.num_shed,
+            "num_admission_shed": self.num_admission_shed,
+            "breaker_state": self.breaker_state,
+            "num_plan_swaps": self.num_plan_swaps,
         }
 
 
@@ -227,6 +272,15 @@ class Server:
     degraded_fallback:
         Re-run each member of a failed batch alone through the exact scalar
         oracle before giving up (default on).
+    admission_control:
+        Adaptive load shedding: ``True`` (default) installs a default
+        :class:`~repro.serving.policy.AdmissionController`, ``False`` turns
+        shedding off, or pass a configured controller instance.
+    degraded_breaker:
+        Circuit breaker guarding the degraded-oracle fallback: ``True``
+        (default) installs a default
+        :class:`~repro.serving.policy.CircuitBreaker`, ``False`` disables
+        it, or pass a configured breaker instance.
     faults:
         Optional :class:`~repro.serving.faults.FaultInjector` for chaos
         testing; the default injects nothing.
@@ -257,6 +311,8 @@ class Server:
         max_pending: int = 128,
         retry_policy: Optional[RetryPolicy] = DEFAULT_RETRY_POLICY,
         degraded_fallback: bool = True,
+        admission_control: Union[AdmissionController, bool, None] = True,
+        degraded_breaker: Union[CircuitBreaker, bool, None] = True,
         faults: Optional[FaultInjector] = None,
         max_worker_restarts: Optional[int] = None,
         execution: str = "threads",
@@ -285,7 +341,20 @@ class Server:
         self.max_worker_restarts = (
             max_worker_restarts if max_worker_restarts is not None else 2 * num_workers
         )
+        if admission_control is True:
+            self.admission: Optional[AdmissionController] = AdmissionController()
+        elif admission_control is False or admission_control is None:
+            self.admission = None
+        else:
+            self.admission = admission_control
+        if degraded_breaker is True:
+            self.breaker: Optional[CircuitBreaker] = CircuitBreaker()
+        elif degraded_breaker is False or degraded_breaker is None:
+            self.breaker = None
+        else:
+            self.breaker = degraded_breaker
         self.queue = RequestQueue(max_pending)
+        self.queue.controller = self.admission
         self._pool: Optional[ProcessWorkerPool] = None
         if execution == "processes":
             # Shards inject faults through their own decorrelated injector
@@ -319,7 +388,15 @@ class Server:
         self._cancelled = 0
         self._degraded = 0
         self._retry_events = 0
-        self._jitter_rng = random.Random(0)
+        self._shed = 0
+        self._admission_sheds = 0
+        self._force_aborted = 0
+        self._plan_swaps = 0
+        # Plan-swap barrier: workers register popped batches as in-flight; a
+        # swap drains to inflight == 0 while holding new dispatches out.
+        self._swap_cv = threading.Condition()
+        self._swap_active = False
+        self._inflight_batches = 0
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> "Server":
@@ -333,6 +410,9 @@ class Server:
             # Process tier: bring every shard up before the first request can
             # be admitted, so submit latency never pays a process spawn.
             if self._pool is not None:
+                # Reclaim /dev/shm space leaked by previous serving parents
+                # that died between creating rings and closing them.
+                cleanup_orphan_segments()
                 for index in range(self.num_workers):
                     self._pool.ensure_shard(index)
             # Spawn under the lock so a concurrent close() always sees the
@@ -356,15 +436,21 @@ class Server:
         )
         slot.thread.start()
 
-    def close(self, drain: bool = True) -> None:
+    def close(self, drain: bool = True, timeout_s: Optional[float] = None) -> None:
         """Stop admitting requests and shut the pool down.
 
         With ``drain=True`` (default) queued requests are still executed
         before the workers exit.  With ``drain=False`` the server aborts:
         still-queued requests are failed promptly with
         :class:`~repro.errors.ServingError` and only the batches already in
-        flight finish.
+        flight finish.  ``timeout_s`` bounds the shutdown either way: if
+        workers are still running when it elapses, the server force-aborts —
+        shard processes are terminated, still-queued *and* still-in-flight
+        requests are failed (never requeued) and counted as
+        ``num_force_aborted`` in the report.
         """
+        if timeout_s is not None and timeout_s < 0.0:
+            raise ServingError(f"timeout_s must be >= 0, got {timeout_s}")
         with self._lock:
             if self._closed:
                 return
@@ -384,20 +470,54 @@ class Server:
                 )
         # Join workers, re-snapshotting: the supervisor may still replace a
         # worker that crashes while draining, so loop until no thread in any
-        # slot is alive.
+        # slot is alive (or the shutdown deadline fires).
+        deadline = time.perf_counter() + timeout_s if timeout_s is not None else None
+        timed_out = False
         while True:
             threads = [slot.thread for slot in self._slots if slot.alive]
             if not threads:
                 break
-            for thread in threads:
-                thread.join()
+            if deadline is None:
+                for thread in threads:
+                    thread.join()
+            else:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0.0:
+                    timed_out = True
+                    break
+                threads[0].join(min(remaining, 0.05))
         if self._supervisor is not None:
             with self._supervisor_cv:
                 self._supervisor_stop = True
                 self._supervisor_cv.notify_all()
             self._supervisor.join()
         if self._pool is not None:
-            self._pool.close()
+            # A timed-out drain terminates wedged shard processes quickly
+            # instead of waiting out the full join grace per process.
+            self._pool.close(join_timeout_s=0.2 if timed_out else None)
+        forced: List[Request] = []
+        if timed_out:
+            # Give workers unwedged by the shard teardown a moment to unwind,
+            # then kill whatever is still held in flight.  Force-abort never
+            # requeues: the requests fail with ServingError and are counted.
+            grace_until = time.perf_counter() + 0.5
+            while any(slot.alive for slot in self._slots):
+                if time.perf_counter() >= grace_until:
+                    break
+                time.sleep(0.005)
+            now = time.perf_counter()
+            for slot in self._slots:
+                inflight, slot.inflight = slot.inflight, None
+                for request in inflight or []:
+                    if request.fail(
+                        ServingError(
+                            f"server close(timeout_s={timeout_s}) force-"
+                            f"aborted in-flight request {request.request_id} "
+                            f"('{request.layer}')"
+                        ),
+                        now,
+                    ):
+                        forced.append(request)
         # Account for everything that never reached a worker: requests shed
         # by the queue plus any leftovers a crashed worker requeued after the
         # restart budget ran out.
@@ -411,7 +531,10 @@ class Server:
                 ),
                 now,
             )
-        stragglers = aborted + leftovers + self.queue.take_shed()
+        if timed_out:
+            with self._lock:
+                self._force_aborted += len(forced) + len(leftovers)
+        stragglers = aborted + forced + leftovers + self.queue.take_shed()
         if stragglers:
             self._finish([], [self._record(request) for request in stragglers])
 
@@ -420,6 +543,81 @@ class Server:
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
         self.close()
+
+    # ------------------------------------------------------------- plan swap
+    def swap_plan(self, new_plan: ModelPlan) -> None:
+        """Hot-swap the served plan with zero downtime (weight update).
+
+        The server keeps admitting and queueing requests throughout; only
+        batch *dispatch* pauses while in-flight batches drain to a
+        plan-quiescent point, then ``new_plan`` is installed — in the batcher
+        (thread tier) or in every shard process (process tier: replicas are
+        re-pickled and prewarmed, the shared-memory rings are kept) — and
+        dispatch resumes.  No admitted request is dropped or reordered; work
+        claimed before the swap completes against the old plan, everything
+        after runs on the new one.
+
+        ``new_plan`` must be shape-compatible with the served plan (same
+        layer names, per-layer dimensions and model graph) so queued
+        activations stay valid; anything else raises
+        :class:`~repro.errors.ServingError` without disturbing serving.
+        Call it from a control thread — never from a request callback (a
+        worker cannot drain the batch it is executing).
+        """
+        with self._lock:
+            if not self._started:
+                raise ServingError("server is not started; call start() first")
+            if self._closed:
+                raise ServingError("server has been closed")
+        self._validate_swap(new_plan)
+        with self._swap_cv:
+            while self._swap_active:  # serialise concurrent swaps
+                self._swap_cv.wait()
+            self._swap_active = True
+            while self._inflight_batches:
+                self._swap_cv.wait()
+        try:
+            if self._pool is not None:
+                self._pool.swap_plan(new_plan)
+            else:
+                # Prewarm every layer's scoreboard now, outside the hot path,
+                # so the first post-swap batch pays no compile latency.
+                for name in new_plan.layer_names():
+                    shape = new_plan.layer(name).shape
+                    new_plan.run(name, np.zeros((shape.k, 1), dtype=np.int64))
+            self.plan = new_plan
+            self.batcher.plan = new_plan
+            with self._lock:
+                self._plan_swaps += 1
+        finally:
+            with self._swap_cv:
+                self._swap_active = False
+                self._swap_cv.notify_all()
+
+    def _validate_swap(self, new_plan: ModelPlan) -> None:
+        """Reject a swap that would invalidate queued work (shape drift)."""
+        old_names = list(self.plan.layer_names())
+        new_names = list(new_plan.layer_names())
+        if old_names != new_names:
+            raise ServingError(
+                f"swap_plan needs the same layer set: serving {old_names}, "
+                f"got {new_names}"
+            )
+        for name in old_names:
+            old_shape = self.plan.layer(name).shape
+            new_shape = new_plan.layer(name).shape
+            if (old_shape.k, old_shape.n) != (new_shape.k, new_shape.n):
+                raise ServingError(
+                    f"swap_plan changes layer '{name}' from "
+                    f"k={old_shape.k}, n={old_shape.n} to "
+                    f"k={new_shape.k}, n={new_shape.n}; queued activations "
+                    f"would no longer be servable"
+                )
+        if self.plan.graph != new_plan.graph:
+            raise ServingError(
+                "swap_plan needs an identical model graph; recompile the new "
+                "plan with the same graph= as the served plan"
+            )
 
     # -------------------------------------------------------------- clients
     def submit(
@@ -430,6 +628,7 @@ class Server:
         *,
         model: Optional[str] = None,
         stream: Optional[int] = None,
+        priority: Optional[int] = None,
         options: Optional[SubmitOptions] = None,
     ) -> Union[ModelRequest, Request]:
         """Admit one request against the compiled model.
@@ -440,11 +639,17 @@ class Server:
         :class:`~repro.serving.model_request.ModelRequest` handle.  ``model=``
         optionally names the plan being targeted (validated), ``stream=N``
         runs ``N`` autoregressive decode steps (step ``t``'s output feeds
-        step ``t + 1``), and ``options=`` bundles both as a
+        step ``t + 1``), ``priority=`` picks the QoS class (0 = interactive,
+        the default; larger = bulk traffic that interactive work overtakes
+        and the admission controller browns out first), and ``options=``
+        bundles all of them as a
         :class:`~repro.serving.model_request.SubmitOptions` (explicit
         keywords win).  Admission control applies at stage 0 only — a model
         request occupies one pipeline stage at a time, so continuations
-        never bounce off the queue bound.
+        never bounce off the queue bound.  Besides
+        :class:`~repro.errors.BackpressureError`, submission may raise
+        :class:`~repro.errors.ShedError` when the admission controller
+        judges the request doomed or browns out its priority class.
 
         The deprecated layer-level surface: ``submit("q_proj", act)`` (first
         positional a layer-name string) targets a single compiled layer and
@@ -465,7 +670,7 @@ class Server:
                 raise ServingError(
                     "layer-level submit() needs an activation matrix"
                 )
-            return self._submit_layer(layer, activation, deadline_s)
+            return self._submit_layer(layer, activation, deadline_s, priority)
         if layer is not None:
             if activation is not None:
                 raise ServingError(
@@ -477,7 +682,7 @@ class Server:
             raise ServingError("submit() needs an activation matrix")
         return self._submit_model(
             activation, deadline_s=deadline_s, model=model,
-            stream=stream, options=options,
+            stream=stream, priority=priority, options=options,
         )
 
     def submit_many(
@@ -488,6 +693,7 @@ class Server:
         *,
         model: Optional[str] = None,
         stream: Optional[int] = None,
+        priority: Optional[int] = None,
         options: Optional[SubmitOptions] = None,
     ) -> Union[List[ModelRequest], List[Request]]:
         """Admit a batch of requests atomically (all-or-nothing admission).
@@ -518,7 +724,7 @@ class Server:
                 raise ServingError(
                     "layer-level submit_many() needs a list of activations"
                 )
-            return self._submit_layer_many(layer, activations, deadline_s)
+            return self._submit_layer_many(layer, activations, deadline_s, priority)
         if layer is not None:
             if activations is not None:
                 raise ServingError(
@@ -530,7 +736,7 @@ class Server:
             raise ServingError("submit_many() needs a list of activations")
         return self._submit_model_many(
             activations, deadline_s=deadline_s, model=model,
-            stream=stream, options=options,
+            stream=stream, priority=priority, options=options,
         )
 
     # ------------------------------------------------- layer-level (legacy)
@@ -539,6 +745,7 @@ class Server:
         layer: str,
         activation: np.ndarray,
         deadline_s: Optional[float] = None,
+        priority: Optional[int] = None,
     ) -> Request:
         """Admit one single-layer request (the pre-pipeline contract)."""
         with self._lock:
@@ -548,8 +755,9 @@ class Server:
         layer_plan = self.plan.layer(layer)
         request = self._make_request(
             request_id, layer, layer_plan, activation,
-            time.perf_counter(), deadline_s,
+            time.perf_counter(), deadline_s, priority or 0,
         )
+        self._admission_shed_check(layer, request.deadline_at, request.priority)
         self.queue.put(request)  # may raise BackpressureError
         return request
 
@@ -558,6 +766,7 @@ class Server:
         layer: str,
         activations: List[np.ndarray],
         deadline_s: Optional[float] = None,
+        priority: Optional[int] = None,
     ) -> List[Request]:
         """Admit a same-layer batch atomically (the pre-pipeline contract)."""
         activations = list(activations)
@@ -572,12 +781,40 @@ class Server:
         requests = [
             self._make_request(
                 first_id + offset, layer, layer_plan, activation,
-                submitted_at, deadline_s,
+                submitted_at, deadline_s, priority or 0,
             )
             for offset, activation in enumerate(activations)
         ]
+        # All-or-nothing, like put_many: one shed decision covers the batch.
+        self._admission_shed_check(
+            layer, requests[0].deadline_at, requests[0].priority,
+            count=len(requests),
+        )
         self.queue.put_many(requests)  # may raise BackpressureError
         return requests
+
+    def _admission_shed_check(
+        self,
+        layer: str,
+        deadline_at_: Optional[float],
+        priority: int,
+        count: int = 1,
+    ) -> None:
+        """Consult the admission controller before enqueueing new work.
+
+        Raises the controller's :class:`~repro.errors.ShedError` (counted as
+        ``count`` admission sheds — a ``submit_many`` batch sheds as a unit).
+        """
+        if self.admission is None:
+            return
+        error = self.admission.admission_check(
+            layer, deadline_at_, priority, time.perf_counter(),
+            len(self.queue), self.queue.max_pending,
+        )
+        if error is not None:
+            with self._lock:
+                self._admission_sheds += count
+            raise error
 
     # ------------------------------------------------- model-level pipeline
     def _pipeline_graph(self) -> ModelGraph:
@@ -601,15 +838,19 @@ class Server:
         deadline_s: Optional[float],
         model: Optional[str],
         stream: Optional[int],
+        priority: Optional[int],
         options: Optional[SubmitOptions],
-    ) -> Tuple[ModelGraph, Optional[float], int]:
+    ) -> Tuple[ModelGraph, Optional[float], int, int]:
         """Validate model-level submit parameters against the plan."""
         opts = options if options is not None else SubmitOptions()
         if deadline_s is None:
             deadline_s = opts.deadline_s
         steps = stream if stream is not None else opts.stream
+        qos = priority if priority is not None else opts.priority
         if steps < 1:
             raise ServingError(f"stream must be >= 1 decode steps, got {steps}")
+        if qos < 0:
+            raise ServingError(f"priority must be >= 0, got {qos}")
         if model is not None and model != self.plan.name:
             raise ServingError(
                 f"this server serves model '{self.plan.name}', not '{model}'"
@@ -625,7 +866,7 @@ class Server:
                     f"the first stage ('{first.name}') consumes {first.k}-row "
                     f"inputs, so step outputs cannot feed the next step"
                 )
-        return graph, deadline_s, steps
+        return graph, deadline_s, steps, qos
 
     def _build_model_request(
         self,
@@ -635,13 +876,14 @@ class Server:
         submitted_at: float,
         deadline_s: Optional[float],
         steps: int,
+        priority: int,
     ) -> Tuple[ModelRequest, Request]:
         """Wrap one validated activation into a model request + its stage-0
         request (not yet enqueued)."""
         first_layer = graph.stages[0].layer
         stage0 = self._make_request(
             request_id, first_layer, self.plan.layer(first_layer), activation,
-            submitted_at, deadline_s,
+            submitted_at, deadline_s, priority,
         )
         model_request = ModelRequest(
             request_id=request_id,
@@ -650,6 +892,7 @@ class Server:
             num_steps=steps,
             submitted_at=submitted_at,
             deadline_at=stage0.deadline_at,
+            priority=priority,
         )
         model_request._graph = graph
         model_request._begin_step(stage0.activation)
@@ -664,10 +907,11 @@ class Server:
         deadline_s: Optional[float],
         model: Optional[str],
         stream: Optional[int],
+        priority: Optional[int],
         options: Optional[SubmitOptions],
     ) -> ModelRequest:
-        graph, deadline_s, steps = self._resolve_submit(
-            deadline_s, model, stream, options
+        graph, deadline_s, steps, qos = self._resolve_submit(
+            deadline_s, model, stream, priority, options
         )
         with self._lock:
             self._check_accepting()
@@ -675,8 +919,10 @@ class Server:
             self._next_id += 1
             self._served_model_requests = True
         model_request, stage0 = self._build_model_request(
-            request_id, graph, activation, time.perf_counter(), deadline_s, steps
+            request_id, graph, activation, time.perf_counter(), deadline_s,
+            steps, qos,
         )
+        self._admission_shed_check(stage0.layer, stage0.deadline_at, qos)
         self.queue.put(stage0)  # may raise BackpressureError
         return model_request
 
@@ -686,13 +932,14 @@ class Server:
         deadline_s: Optional[float],
         model: Optional[str],
         stream: Optional[int],
+        priority: Optional[int],
         options: Optional[SubmitOptions],
     ) -> List[ModelRequest]:
         activations = list(activations)
         if not activations:
             raise ServingError("submit_many needs at least one activation")
-        graph, deadline_s, steps = self._resolve_submit(
-            deadline_s, model, stream, options
+        graph, deadline_s, steps, qos = self._resolve_submit(
+            deadline_s, model, stream, priority, options
         )
         with self._lock:
             self._check_accepting()
@@ -703,10 +950,13 @@ class Server:
         pairs = [
             self._build_model_request(
                 first_id + offset, graph, activation, submitted_at,
-                deadline_s, steps,
+                deadline_s, steps, qos,
             )
             for offset, activation in enumerate(activations)
         ]
+        self._admission_shed_check(
+            pairs[0][1].layer, pairs[0][1].deadline_at, qos, count=len(pairs)
+        )
         self.queue.put_many([stage0 for _, stage0 in pairs])
         return [model_request for model_request, _ in pairs]
 
@@ -799,6 +1049,7 @@ class Server:
             activation=activation,
             submitted_at=now,
             deadline_at=model_request.deadline_at,
+            priority=model_request.priority,
         )
         stage_request.pipeline = (model_request, step, stage_index)
         stage_request.on_done = self._on_stage_done
@@ -824,6 +1075,14 @@ class Server:
             state=model_request.state,
             latency_s=model_request.latency_s,
             steps=model_request.steps_completed,
+            priority=model_request.priority,
+            deadline_met=(
+                model_request.state == DONE
+                and (
+                    model_request.deadline_at is None
+                    or model_request.finished_at <= model_request.deadline_at
+                )
+            ),
         )
         with self._lock:
             self._model_records.append(record)
@@ -843,6 +1102,7 @@ class Server:
         activation: np.ndarray,
         submitted_at: float,
         deadline_s: Optional[float],
+        priority: int = 0,
     ) -> Request:
         """Validate one activation and wrap it into a queued-ready request."""
         activation = np.asarray(activation)
@@ -861,6 +1121,7 @@ class Server:
             activation=self._validate_activation_values(layer, activation),
             submitted_at=submitted_at,
             deadline_at=deadline_at(submitted_at, deadline_s),
+            priority=priority,
         )
 
     @staticmethod
@@ -914,11 +1175,26 @@ class Server:
             if batch is None:
                 return
             slot.inflight = batch
-            if self.faults is not None and self._pool is None:
-                # Thread tier injects dispatch faults here; the process tier's
-                # equivalent fires inside the shard (and kills the process).
-                self.faults.on_dispatch(slot.name)  # may raise: worker death
-            self._process_batch(slot, batch)
+            # Plan-swap barrier: register the batch as in-flight so
+            # swap_plan() can drain to a plan-quiescent point; a draining
+            # swap holds new dispatches here.  The popped batch stays in
+            # ``slot.inflight`` meanwhile, so a crash still requeues it,
+            # and the finally-decrement keeps the barrier crash-safe.
+            with self._swap_cv:
+                while self._swap_active:
+                    self._swap_cv.wait()
+                self._inflight_batches += 1
+            try:
+                if self.faults is not None and self._pool is None:
+                    # Thread tier injects dispatch faults here; the process
+                    # tier's equivalent fires inside the shard (and kills the
+                    # process).
+                    self.faults.on_dispatch(slot.name)  # may raise: worker death
+                self._process_batch(slot, batch)
+            finally:
+                with self._swap_cv:
+                    self._inflight_batches -= 1
+                    self._swap_cv.notify_all()
             slot.inflight = None
 
     def _process_batch(self, slot: _WorkerSlot, batch: List[Request]) -> None:
@@ -926,7 +1202,18 @@ class Server:
         claimed = [
             request for request in batch if request.try_claim(claim_time, len(batch))
         ]
+        if claimed and self.admission is not None:
+            for request in claimed:
+                self.admission.observe_wait(claim_time - request.submitted_at)
         execution = self._execute_resilient(slot, claimed) if claimed else None
+        if execution is not None and self.admission is not None:
+            self.admission.observe_batch(
+                execution.layer,
+                execution.batch_size,
+                execution.compute_s
+                if execution.compute_s is not None
+                else execution.duration_s,
+            )
         if claimed and self._pool is None:
             # Thread-mode utilization accounting (the pool tracks its own).
             busy_s = time.perf_counter() - claim_time
@@ -987,11 +1274,17 @@ class Server:
     def _execute_resilient(
         self, slot: _WorkerSlot, claimed: List[Request]
     ) -> Optional[BatchExecution]:
-        """Run one claimed batch under the retry policy + degraded fallback."""
+        """Run one claimed batch under the retry policy + degraded fallback.
+
+        The circuit breaker watches the outcomes: a fast-path success records
+        success, exhausted retries (or a non-transient failure) record
+        failure — and when the accumulated failures tripped it open, the
+        batch is shed instead of taking the slow degraded oracle.
+        """
         attempt = 1
         while True:
             try:
-                return self._execute_claimed(slot, claimed)
+                execution = self._execute_claimed(slot, claimed)
             except WorkerCrashError:
                 # Shard-process death is not a batch failure: let it escape to
                 # the worker crash path (requeue + supervised restart) instead
@@ -1005,18 +1298,44 @@ class Server:
                         request.retries += 1
                     with self._lock:
                         self._retry_events += len(claimed)
-                    delay = self.retry_policy.backoff_s(attempt, self._jitter_rng)
+                    delay = self.retry_policy.backoff_s(attempt)
                     attempt += 1
                     if delay > 0.0:
                         time.sleep(delay)
                     continue
-                if self.degraded_fallback:
-                    self._execute_degraded(claimed)
-                else:
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                if not self.degraded_fallback:
                     finished_at = time.perf_counter()
                     for request in claimed:
                         request.fail(error, finished_at)
+                elif self.breaker is not None and not self.breaker.allow():
+                    self._shed_breaker_blocked(claimed, error)
+                else:
+                    self._execute_degraded(claimed)
                 return None
+            else:
+                if self.breaker is not None:
+                    self.breaker.record_success()
+                return execution
+
+    def _shed_breaker_blocked(
+        self, claimed: List[Request], cause: BaseException
+    ) -> None:
+        """Shed a failed batch the open breaker keeps away from the oracle."""
+        retry_after = self.breaker.retry_after_s() if self.breaker else 0.0
+        now = time.perf_counter()
+        for request in claimed:
+            request.shed(
+                ShedError(
+                    f"request {request.request_id} ('{request.layer}') shed: "
+                    f"the degraded-fallback circuit breaker is open after "
+                    f"sustained fast-path failures ({cause}); retry in "
+                    f"~{max(retry_after, 1e-3) * 1e3:.0f} ms",
+                    retry_after_s=retry_after,
+                ),
+                now,
+            )
 
     def _execute_degraded(self, claimed: List[Request]) -> None:
         """Per-request scalar-oracle fallback for a batch that kept failing.
@@ -1099,6 +1418,8 @@ class Server:
                     self._expired += 1
                 elif record.state == CANCELLED:
                     self._cancelled += 1
+                elif record.state == SHED:
+                    self._shed += 1
                 if record.degraded:
                     self._degraded += 1
 
@@ -1124,6 +1445,14 @@ class Server:
             retries=request.retries,
             degraded=request.degraded,
             attribution=request.attribution,
+            priority=request.priority,
+            deadline_met=(
+                request.state == DONE
+                and (
+                    request.deadline_at is None
+                    or finished_at <= request.deadline_at
+                )
+            ),
         )
 
     # ------------------------------------------------------------ monitoring
@@ -1139,6 +1468,9 @@ class Server:
             cancelled = self._cancelled
             degraded = self._degraded
             retried = self._retry_events
+            shed = self._shed
+            admission_shed = self._admission_sheds
+            plan_swaps = self._plan_swaps
         return ServerHealth(
             started=started,
             closed=closed,
@@ -1156,6 +1488,12 @@ class Server:
             alive_shards=(
                 self._pool.alive_shards() if self._pool is not None else None
             ),
+            num_shed=shed,
+            num_admission_shed=admission_shed,
+            breaker_state=(
+                self.breaker.state if self.breaker is not None else "disabled"
+            ),
+            num_plan_swaps=plan_swaps,
         )
 
     def _shard_stats(self) -> List[ShardStats]:
@@ -1170,6 +1508,7 @@ class Server:
                     dispatch_s=stat["dispatch_s"],
                     restarts=stat["restarts"],
                     shm_fallbacks=stat["shm_fallbacks"],
+                    plan_swaps=stat.get("plan_swaps", 0),
                 )
                 for stat in self._pool.shard_stats()
             ]
@@ -1199,12 +1538,22 @@ class Server:
             batches = list(self._batches)
             model_records = list(self._model_records)
             served_models = self._served_model_requests
+            admission_sheds = self._admission_sheds
+            plan_swaps = self._plan_swaps
+            force_aborted = self._force_aborted
         done = [record for record in records if record.state == DONE]
         failed = sum(1 for record in records if record.state == FAILED)
         expired = sum(1 for record in records if record.state == EXPIRED)
         cancelled = sum(1 for record in records if record.state == CANCELLED)
+        shed = sum(1 for record in records if record.state == SHED)
         retried = sum(record.retries for record in records)
         degraded = sum(1 for record in done if record.degraded)
+        met = [record for record in done if record.deadline_met]
+        met_by_priority: Dict[int, int] = {}
+        for record in met:
+            met_by_priority[record.priority] = (
+                met_by_priority.get(record.priority, 0) + 1
+            )
 
         requests_per_layer: Dict[str, int] = {}
         for record in done:
@@ -1281,6 +1630,16 @@ class Server:
             model_latencies_s=[record.latency_s for record in model_done],
             num_model_failed=len(model_records) - len(model_done),
             pipeline_depth=pipeline_depth,
+            num_shed=shed,
+            num_admission_shed=admission_sheds,
+            breaker_trips=self.breaker.trips if self.breaker is not None else 0,
+            breaker_state=(
+                self.breaker.state if self.breaker is not None else "disabled"
+            ),
+            num_plan_swaps=plan_swaps,
+            num_force_aborted=force_aborted,
+            num_deadline_met=len(met),
+            deadline_met_by_priority=met_by_priority,
         )
 
     @staticmethod

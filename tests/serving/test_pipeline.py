@@ -185,8 +185,9 @@ class TestPipelineDeadlinesAndCancel:
             def delayed(*args, **kwargs):
                 # Once the stage-1 continuation is pending, let the model
                 # deadline lapse before the worker can claim it.
-                if any(r.layer == "attn_score" for r in
-                       list(server.queue._pending)):
+                if any(entry[2].layer == "attn_score"
+                       for lane in list(server.queue._lanes.values())
+                       for entry in list(lane)):
                     time.sleep(0.15)
                 return original(*args, **kwargs)
 
